@@ -1,0 +1,37 @@
+"""Fig. 10: single-processor CPU–eFPGA bandwidth vs eFPGA clock frequency."""
+
+from conftest import FULL
+
+from repro.analysis import format_table, run_fig10
+
+
+def test_fig10_communication_bandwidth(benchmark):
+    frequencies = (20.0, 50.0, 100.0, 200.0, 500.0) if FULL else (100.0, 500.0)
+    quad_words = 512 if FULL else 64
+    rows = benchmark.pedantic(
+        run_fig10,
+        kwargs={"frequencies": frequencies, "quad_words": quad_words},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(
+        ["Mechanism", "eFPGA MHz", "Measured MB/s", "Paper peak MB/s"],
+        [[r["mechanism"], r["fpga_mhz"], r["measured_mbytes_per_s"],
+          r["paper_peak_mbytes_per_s"]] for r in rows],
+        title=f"Fig. 10 — Processor-eFPGA Bandwidth ({quad_words} quad-words)",
+    ))
+    by_key = {(r["mechanism"], r["fpga_mhz"]): r["measured_mbytes_per_s"] for r in rows}
+    top = max(frequencies)
+    # Shape checks mirroring the paper:
+    # 1. The Proxy Cache delivers the highest bandwidth of all mechanisms.
+    peak_proxy = max(by_key[("efpga_pull_proxy", f)] for f in frequencies)
+    assert peak_proxy == max(by_key.values())
+    # 2. eFPGA pull sustains more bandwidth than CPU pull (8-byte store port).
+    assert by_key[("efpga_pull_proxy", top)] > by_key[("cpu_pull_proxy", top)]
+    # 3. Shadow registers beat normal registers at every frequency.
+    for freq in frequencies:
+        assert by_key[("shadow_reg", freq)] > by_key[("normal_reg", freq)]
+    # 4. Duet beats the slow-cache FPSoC path for eFPGA pulls at every frequency.
+    for freq in frequencies:
+        assert by_key[("efpga_pull_proxy", freq)] > by_key[("efpga_pull_slow", freq)]

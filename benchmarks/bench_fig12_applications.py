@@ -1,0 +1,52 @@
+"""Fig. 12: normalized speedup and Area-Delay Product of the applications."""
+
+from conftest import FULL
+
+from repro.analysis import APPLICATION_CONFIGS, format_table, run_fig12
+
+#: The reduced sweep skips the largest-core-count configurations to keep the
+#: default benchmark run quick; DUET_BENCH_FULL=1 runs all thirteen.
+QUICK_LABELS = (
+    "tangent", "popcount", "sort/32", "dijkstra",
+    "barnes-hut", "pdes/4", "bfs/4",
+)
+
+
+def test_fig12_application_speedup_and_adp(benchmark):
+    configs = APPLICATION_CONFIGS if FULL else [
+        config for config in APPLICATION_CONFIGS if config.label in QUICK_LABELS
+    ]
+    summary = benchmark.pedantic(run_fig12, kwargs={"configs": configs},
+                                 rounds=1, iterations=1)
+    rows = summary["rows"]
+    print()
+    print(format_table(
+        ["Benchmark", "CPU runtime (ns)", "FPSoC speedup", "Duet speedup",
+         "Paper FPSoC", "Paper Duet", "FPSoC norm ADP", "Duet norm ADP", "Correct"],
+        [[r["benchmark"], r["cpu_runtime_ns"], r["fpsoc_speedup"], r["duet_speedup"],
+          r["paper_fpsoc_speedup"], r["paper_duet_speedup"],
+          r["fpsoc_norm_adp"], r["duet_norm_adp"], r["all_correct"]] for r in rows],
+        title="Fig. 12 — Normalized Speedup and ADP of Application Benchmarks",
+    ))
+    print(
+        f"geomean speedup: Duet {summary['duet_geomean_speedup']:.2f}x "
+        f"(paper {summary['paper_geomean_speedup']['duet']}x), "
+        f"FPSoC {summary['fpsoc_geomean_speedup']:.2f}x "
+        f"(paper {summary['paper_geomean_speedup']['fpsoc']}x)"
+    )
+    print(
+        f"geomean normalized ADP: Duet {summary['duet_geomean_adp']:.2f} "
+        f"(paper {summary['paper_geomean_adp']['duet']}), "
+        f"FPSoC {summary['fpsoc_geomean_adp']:.2f} "
+        f"(paper {summary['paper_geomean_adp']['fpsoc']})"
+    )
+    # Shape checks mirroring the paper's conclusions:
+    # every benchmark is functionally correct on all three systems,
+    # Duet outperforms the FPSoC baseline on every benchmark, and
+    # Duet's geometric-mean speedup over the processor-only baseline
+    # exceeds the FPSoC's.
+    assert all(r["all_correct"] for r in rows)
+    for r in rows:
+        assert r["duet_speedup"] > r["fpsoc_speedup"], r["benchmark"]
+    assert summary["duet_geomean_speedup"] > 1.0
+    assert summary["duet_geomean_speedup"] > summary["fpsoc_geomean_speedup"]

@@ -1,0 +1,32 @@
+"""Fig. 9: CPU–eFPGA round-trip communication latency."""
+
+from conftest import FULL
+
+from repro.analysis import format_table, run_fig9
+
+
+def test_fig9_communication_latency(benchmark):
+    frequencies = (100.0, 200.0, 500.0) if FULL else (100.0, 500.0)
+    rows = benchmark.pedantic(run_fig9, kwargs={"frequencies": frequencies},
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Mechanism", "eFPGA MHz", "Measured roundtrip (ns)", "Paper roundtrip (ns)"],
+        [[r["mechanism"], r["fpga_mhz"], r["measured_roundtrip_ns"],
+          r["paper_roundtrip_ns"]] for r in rows],
+        title="Fig. 9 — CPU-eFPGA Communication Latency (single transaction)",
+    ))
+    by_key = {(r["mechanism"], r["fpga_mhz"]): r["measured_roundtrip_ns"] for r in rows}
+    lowest, highest = min(frequencies), max(frequencies)
+    # Shape checks mirroring the paper's claims:
+    # 1. Shadow registers beat normal soft registers at every frequency.
+    for freq in frequencies:
+        assert by_key[("shadow_reg", freq)] < by_key[("normal_reg", freq)]
+    # 2. The Proxy Cache keeps CPU-pull latency flat across eFPGA clocks,
+    #    while the slow cache's latency grows as the eFPGA slows down.
+    proxy_spread = by_key[("cpu_pull_proxy", lowest)] - by_key[("cpu_pull_proxy", highest)]
+    slow_spread = by_key[("cpu_pull_slow", lowest)] - by_key[("cpu_pull_slow", highest)]
+    assert abs(proxy_spread) < 0.5 * slow_spread
+    # 3. At the slowest clock, every Duet mechanism beats its FPSoC counterpart.
+    assert by_key[("cpu_pull_proxy", lowest)] < by_key[("cpu_pull_slow", lowest)]
+    assert by_key[("efpga_pull_proxy", lowest)] < by_key[("efpga_pull_slow", lowest)]

@@ -1,0 +1,15 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper.  Set
+``DUET_BENCH_FULL=1`` to run the full-size experiments (all frequencies,
+all processor counts, 512-quad-word transfers); the default is a reduced
+sweep that preserves every trend but keeps the pure-Python simulation fast.
+"""
+
+import os
+import sys
+
+# Make the benchmarks importable when pytest's rootdir is the repository.
+sys.path.insert(0, os.path.dirname(__file__))
+
+FULL = os.environ.get("DUET_BENCH_FULL", "0") == "1"

@@ -1,0 +1,38 @@
+"""Fine-grained acceleration example: Barnes-Hut N-body on Dolly-P4M1.
+
+Run with:  python examples/barnes_hut_nbody.py
+
+This reproduces the scenario of Sec. III-A2 / Fig. 7: four processor threads
+traverse the quadtree (dynamic control flow stays in software) and
+time-multiplex the eFPGA-emulated ApproxForce / CalcForce pipelines for the
+compute-heavy force kernels.  The same workload is also run on the
+processor-only baseline and on the FPSoC-like baseline for comparison.
+"""
+
+from repro.platform import SystemKind
+from repro.workloads import barnes_hut
+from repro.workloads.common import WorkloadParams
+
+
+def main():
+    params = WorkloadParams(num_processors=4, num_memory_hubs=1)
+    print("Barnes-Hut force calculation, 32 particles, 4 processor threads")
+    print("-" * 68)
+    results = {}
+    for kind in (SystemKind.CPU_ONLY, SystemKind.FPSOC, SystemKind.DUET):
+        result = barnes_hut.run(kind, WorkloadParams(params.num_processors,
+                                                     params.num_memory_hubs))
+        results[kind] = result
+        fpga = f"eFPGA @ {result.fpga_mhz:.0f} MHz" if result.fpga_mhz else "no eFPGA"
+        print(f"{result.system_name:14s} runtime {result.runtime_ns:10.0f} ns   "
+              f"correct={result.correct}   {fpga}")
+    baseline = results[SystemKind.CPU_ONLY]
+    for kind in (SystemKind.FPSOC, SystemKind.DUET):
+        result = results[kind]
+        print(f"{result.system_name:14s} speedup over CPU-only: "
+              f"{result.speedup_over(baseline):.2f}x, "
+              f"normalized ADP: {result.normalized_adp(baseline):.2f}")
+
+
+if __name__ == "__main__":
+    main()

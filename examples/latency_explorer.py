@@ -1,0 +1,46 @@
+"""Communication-mechanism explorer (the Sec. V-C studies, interactively).
+
+Run with:  python examples/latency_explorer.py [efpga_mhz ...]
+
+For each requested eFPGA frequency the script measures the round-trip
+latency of all six CPU–eFPGA communication mechanisms (Fig. 9) and the
+bandwidth of the register-based mechanisms (Fig. 10), printing a comparison
+of Duet's Proxy Cache / Shadow Registers against the FPSoC-style slow cache
+and normal soft registers.
+"""
+
+import sys
+
+from repro.analysis import format_table
+from repro.workloads.synthetic import (
+    LATENCY_MECHANISMS,
+    measure_bandwidth,
+    measure_latency,
+)
+
+
+def main():
+    frequencies = [float(arg) for arg in sys.argv[1:]] or [100.0, 500.0]
+    latency_rows = []
+    for mechanism in LATENCY_MECHANISMS:
+        for freq in frequencies:
+            result = measure_latency(mechanism, freq)
+            latency_rows.append([mechanism, freq, result.roundtrip_ns])
+    print(format_table(
+        ["Mechanism", "eFPGA MHz", "Round trip (ns)"], latency_rows,
+        title="CPU-eFPGA round-trip latency (single transaction)",
+    ))
+    print()
+    bandwidth_rows = []
+    for mechanism in ("shadow_reg", "normal_reg"):
+        for freq in frequencies:
+            result = measure_bandwidth(mechanism, freq, quad_words=64)
+            bandwidth_rows.append([mechanism, freq, result.mbytes_per_s])
+    print(format_table(
+        ["Mechanism", "eFPGA MHz", "Bandwidth (MB/s)"], bandwidth_rows,
+        title="Register bandwidth, 64 quad-words",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: build a Dolly-P1M1 system, program an accelerator, talk to it.
+
+Run with:  python examples/quickstart.py
+
+The example builds the smallest interesting Duet system — one Ariane-like
+core plus one Duet Adapter with a single Memory Hub — programs a tiny
+"echo + add" accelerator onto the eFPGA, and shows the two sides
+communicating through Shadow Registers and coherent shared memory.
+"""
+
+from repro.core import RegisterKind, RegisterSpec
+from repro.fpga import AcceleratorDesign, SoftAccelerator
+from repro.platform import DollyConfig, build_system
+
+
+class AddConstantAccelerator(SoftAccelerator):
+    """Pops a value, adds a constant read from shared memory, pushes the sum."""
+
+    DESIGN = AcceleratorDesign(name="add-constant", luts=300, ffs=400, mem_ports=1)
+    STOP = (1 << 62)
+
+    def behavior(self):
+        processed = 0
+        while True:
+            value = yield from self.regs.pop_request(0)
+            if value == self.STOP:
+                return processed
+            constant_addr = yield from self.regs.read(2)
+            constant = yield from self.mem.load(constant_addr)
+            yield self.cycles(2)  # the "datapath"
+            yield from self.regs.push_response(1, value + constant)
+            processed += 1
+
+
+def main():
+    # 1. Describe and build the system: Dolly-P1M1 with the eFPGA at 100 MHz.
+    config = DollyConfig.dolly(processors=1, memory_hubs=1, fpga_mhz=100.0)
+    system = build_system(config)
+    print(f"built {config.name}: {system.plan.width}x{system.plan.height} mesh, "
+          f"{len(system.cores)} core(s), {system.adapter.num_memory_hubs} memory hub(s)")
+
+    # 2. Install the accelerator (synthesis -> bitstream -> programming).
+    registers = [
+        RegisterSpec(0, RegisterKind.FPGA_BOUND_FIFO, "operand"),
+        RegisterSpec(1, RegisterKind.CPU_BOUND_FIFO, "result"),
+        RegisterSpec(2, RegisterKind.PLAIN, "constant_addr"),
+    ]
+    synthesis = system.install_accelerator(AddConstantAccelerator(), registers=registers,
+                                           fpga_mhz=100.0)
+    system.start_accelerator()
+    print(f"accelerator implemented at {synthesis.fmax_mhz:.0f} MHz max, "
+          f"{synthesis.area_mm2:.2f} mm^2 of eFPGA, "
+          f"CLB utilization {synthesis.clb_utilization:.0%}")
+
+    # 3. Software: store the constant in coherent memory, then stream operands.
+    adapter = system.adapter
+    constant_addr = system.memory.allocate(16)
+
+    def program(ctx):
+        yield from ctx.store(constant_addr, 1000)
+        yield from ctx.mmio_write(adapter.register_addr(2), constant_addr)
+        results = []
+        for operand in range(5):
+            yield from ctx.mmio_write(adapter.register_addr(0), operand)
+            results.append((yield from ctx.mmio_read(adapter.register_addr(1))))
+        yield from ctx.mmio_write(adapter.register_addr(0), AddConstantAccelerator.STOP)
+        return results
+
+    results, elapsed_ns = system.run_single(program)
+    print(f"results from the eFPGA: {results}")
+    print(f"elapsed simulated time: {elapsed_ns:.0f} ns "
+          f"({elapsed_ns / len(results):.0f} ns per round trip)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Behavioural soft accelerators for the seven application benchmarks.
+
+Each accelerator mirrors the design described in Sec. V-D: the fine-grained
+accelerators (tangent, popcount, sorting networks, Dijkstra, Barnes-Hut) and
+the hardware-augmentation widgets (the PDES task scheduler and the BFS
+lock-free queues).  Every accelerator carries an
+:class:`~repro.fpga.synthesis.AcceleratorDesign` resource descriptor so the
+synthesis model can reproduce Table II, and declares the soft register
+layout its software driver expects.
+"""
+
+from repro.accel.tangent import TangentAccelerator
+from repro.accel.popcount import PopcountAccelerator
+from repro.accel.sortnet import SortingNetworkAccelerator
+from repro.accel.dijkstra import DijkstraRelaxAccelerator
+from repro.accel.barnes_hut import BarnesHutForceAccelerator
+from repro.accel.pdes_scheduler import PdesSchedulerAccelerator
+from repro.accel.lockfree_queue import FrontierQueueAccelerator
+
+__all__ = [
+    "TangentAccelerator",
+    "PopcountAccelerator",
+    "SortingNetworkAccelerator",
+    "DijkstraRelaxAccelerator",
+    "BarnesHutForceAccelerator",
+    "PdesSchedulerAccelerator",
+    "FrontierQueueAccelerator",
+]

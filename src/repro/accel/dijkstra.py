@@ -1,0 +1,99 @@
+"""Dijkstra relaxation accelerator (Dolly-P1M1, fine-grained acceleration).
+
+The paper accelerates Dijkstra's shortest-path algorithm with a Catapult-HLS
+kernel and "use[s] a soft cache to exploit data locality between consecutive
+calls to the accelerator".  The software/hardware split modelled here keeps
+the priority queue on the processor (dynamic control flow, pointer-heavy)
+and offloads the per-vertex edge relaxation: given a settled vertex, the
+accelerator walks its adjacency list in coherent memory, computes tentative
+distances and writes back any improvement, returning the number of updated
+vertices so the processor can refresh its queue.
+
+Memory layout (all 8-byte words):
+    dist[i]            at  dist_base + 8*i
+    row_ptr[i]         at  rowptr_base + 8*i      (CSR offsets, n+1 entries)
+    col_idx[k], w[k]   packed at edges_base + 8*k as (weight << 32) | dst
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.registers import RegisterKind, RegisterSpec
+from repro.fpga.accelerator import SoftAccelerator
+from repro.fpga.synthesis import AcceleratorDesign
+
+STOP_COMMAND = (1 << 62)
+INFINITY = (1 << 40)
+
+REG_COMMAND = 0      # FPGA-bound FIFO: settled vertex id
+REG_UPDATED = 1      # CPU-bound FIFO: number of distances improved
+REG_DIST_BASE = 2    # plain: base of the distance array
+REG_ROWPTR_BASE = 3  # plain: base of the CSR row-pointer array
+REG_EDGES_BASE = 4   # plain: base of the packed edge array
+
+
+def register_layout() -> List[RegisterSpec]:
+    return [
+        RegisterSpec(REG_COMMAND, RegisterKind.FPGA_BOUND_FIFO, "command", depth=16),
+        RegisterSpec(REG_UPDATED, RegisterKind.CPU_BOUND_FIFO, "updated", depth=16),
+        RegisterSpec(REG_DIST_BASE, RegisterKind.PLAIN, "dist_base"),
+        RegisterSpec(REG_ROWPTR_BASE, RegisterKind.PLAIN, "rowptr_base"),
+        RegisterSpec(REG_EDGES_BASE, RegisterKind.PLAIN, "edges_base"),
+    ]
+
+
+def pack_edge(dst: int, weight: int) -> int:
+    return (weight << 32) | dst
+
+
+def unpack_edge(word: int):
+    return word & 0xFFFF_FFFF, word >> 32
+
+
+class DijkstraRelaxAccelerator(SoftAccelerator):
+    """Relaxes every outgoing edge of one settled vertex per invocation."""
+
+    DESIGN = AcceleratorDesign(
+        name="dijkstra",
+        luts=3100,
+        ffs=3400,
+        bram_kbits=96,
+        dsps=2,
+        logic_depth=14,
+        routing_pressure=0.5,
+        mem_ports=1,
+        description="Catapult-HLS edge-relaxation kernel with a soft cache",
+    )
+
+    #: Per-edge compare/add pipeline latency.
+    EDGE_CYCLES = 2
+
+    def __init__(self, name: str = "dijkstra") -> None:
+        super().__init__(name)
+        self.relaxations = 0
+
+    def behavior(self):
+        while True:
+            vertex = yield from self.regs.pop_request(REG_COMMAND)
+            if vertex == STOP_COMMAND:
+                return self.relaxations
+            dist_base = yield from self.regs.read(REG_DIST_BASE)
+            rowptr_base = yield from self.regs.read(REG_ROWPTR_BASE)
+            edges_base = yield from self.regs.read(REG_EDGES_BASE)
+            start = yield from self.mem.load(rowptr_base + 8 * vertex)
+            end = yield from self.mem.load(rowptr_base + 8 * (vertex + 1))
+            source_dist = yield from self.mem.load(dist_base + 8 * vertex)
+            updated = 0
+            for edge_index in range(start, end):
+                packed = yield from self.mem.load(edges_base + 8 * edge_index)
+                dst, weight = unpack_edge(packed)
+                yield self.cycles(self.EDGE_CYCLES)
+                candidate = source_dist + weight
+                current = yield from self.mem.load(dist_base + 8 * dst)
+                if candidate < current:
+                    yield from self.mem.store(dist_base + 8 * dst, candidate)
+                    updated += 1
+                self.relaxations += 1
+            yield from self.regs.push_response(REG_UPDATED, updated)
+            self.stats.counter("vertices").increment()

@@ -1,0 +1,98 @@
+"""Hardware lock-free frontier queues for parallel BFS (hardware augmentation).
+
+Sec. V-D: "multiple hardware, lock-free queues ... alleviate the
+synchronization overhead in parallel Breadth-First Search.  The processors
+traverse the graph in barrier-synchronized steps and use the queues to store
+the current and next search frontiers."  The processor-only baseline
+arbitrates its shared frontier arrays with locks; with the widget, a push or
+pop is a single MMIO access to a shadow-register FIFO and never bounces a
+lock cache line between cores.
+
+Protocol:
+* processors push discovered vertices into the *next* frontier with a write
+  to the FPGA-bound FIFO;
+* at the end of a level, core 0 writes ``SWAP_COMMAND``; the widget swaps
+  the two queues and streams the new *current* frontier into the CPU-bound
+  FIFO, terminated by one ``END_OF_FRONTIER`` sentinel per participating
+  core (so every core's final blocking read completes);
+* an empty frontier after a swap is reported by sending only sentinels, and
+  the total number of streamed vertices is mirrored in a plain register so
+  software can detect termination without popping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.core.registers import RegisterKind, RegisterSpec
+from repro.fpga.accelerator import SoftAccelerator
+from repro.fpga.synthesis import AcceleratorDesign
+
+STOP_COMMAND = (1 << 62)
+SWAP_COMMAND = (1 << 61)
+END_OF_FRONTIER = (1 << 60)
+
+REG_PUSH = 0        # FPGA-bound FIFO: vertex ids for the next frontier / commands
+REG_POP = 1         # CPU-bound FIFO: current-frontier vertex ids + sentinels
+REG_LEVEL_SIZE = 2  # plain: number of vertices streamed at the last swap
+REG_NUM_CORES = 3   # plain: how many cores participate (sentinel count)
+
+
+def register_layout() -> List[RegisterSpec]:
+    return [
+        RegisterSpec(REG_PUSH, RegisterKind.FPGA_BOUND_FIFO, "push", depth=128),
+        RegisterSpec(REG_POP, RegisterKind.CPU_BOUND_FIFO, "pop", depth=128),
+        RegisterSpec(REG_LEVEL_SIZE, RegisterKind.PLAIN, "level_size"),
+        RegisterSpec(REG_NUM_CORES, RegisterKind.PLAIN, "num_cores"),
+    ]
+
+
+class FrontierQueueAccelerator(SoftAccelerator):
+    """Double-buffered hardware frontier queues for level-synchronous BFS."""
+
+    DESIGN = AcceleratorDesign(
+        name="bfs",
+        luts=1100,
+        ffs=1500,
+        bram_kbits=96,
+        dsps=0,
+        logic_depth=8,
+        routing_pressure=0.3,
+        mem_ports=0,
+        description="Hardware lock-free current/next frontier queues for BFS",
+    )
+
+    #: Cycles per queue operation (BRAM pointer update).
+    QUEUE_CYCLES = 1
+
+    def __init__(self, name: str = "bfs-queues") -> None:
+        super().__init__(name)
+        self.pushes = 0
+        self.swaps = 0
+
+    def behavior(self):
+        next_frontier: Deque[int] = deque()
+        while True:
+            command = yield from self.regs.pop_request(REG_PUSH)
+            yield self.cycles(self.QUEUE_CYCLES)
+            if command == STOP_COMMAND:
+                return self.pushes
+            if command == SWAP_COMMAND:
+                self.swaps += 1
+                num_cores = yield from self.regs.read(REG_NUM_CORES)
+                num_cores = max(1, num_cores)
+                current = next_frontier
+                next_frontier = deque()
+                yield from self.regs.write(REG_LEVEL_SIZE, len(current))
+                while current:
+                    vertex = current.popleft()
+                    yield self.cycles(self.QUEUE_CYCLES)
+                    yield from self.regs.push_response(REG_POP, vertex)
+                for _ in range(num_cores):
+                    yield from self.regs.push_response(REG_POP, END_OF_FRONTIER)
+                self.stats.counter("swaps").increment()
+            else:
+                next_frontier.append(command)
+                self.pushes += 1
+                self.stats.counter("pushes").increment()

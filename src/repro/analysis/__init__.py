@@ -1,0 +1,23 @@
+"""Experiment runners and reporting for every table and figure of the paper."""
+
+from repro.analysis.experiments import (
+    APPLICATION_CONFIGS,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+)
+from repro.analysis.reporting import format_table
+
+__all__ = [
+    "APPLICATION_CONFIGS",
+    "run_table1",
+    "run_table2",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "format_table",
+]

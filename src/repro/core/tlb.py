@@ -1,0 +1,129 @@
+"""Memory Hub TLB: virtualizing accelerator memory accesses.
+
+Application-specific fine-grained accelerators "are like user programs and
+can be faulty or malicious, so they are better restricted to virtual
+addresses" (Sec. II-D).  Each Memory Hub therefore carries a TLB: when
+enabled, every accelerator-initiated access is translated while being
+speculatively processed by the Proxy Cache; on a miss the TLB raises an
+interrupt and the kernel either installs the mapping via MMIOs or kills the
+accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.sim import ClockDomain, Simulator, StatSet
+
+
+@dataclass
+class PageFault(Exception):
+    """Raised to software when a translation is missing and unrecoverable."""
+
+    virtual_addr: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"page fault at virtual address 0x{self.virtual_addr:x}"
+
+
+#: Interrupt handler signature: receives the faulting virtual page number and
+#: returns the physical page number to install, or None to kill the accelerator.
+FaultHandler = Callable[[int], Optional[int]]
+
+
+class Tlb:
+    """A small fully-associative TLB with software-managed fills."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        domain: ClockDomain,
+        page_bits: int = 12,
+        capacity: int = 16,
+        lookup_cycles: int = 1,
+        fault_penalty_cycles: int = 200,
+        name: str = "tlb",
+    ) -> None:
+        self.sim = sim
+        self.domain = domain
+        self.page_bits = page_bits
+        self.capacity = capacity
+        self.lookup_cycles = lookup_cycles
+        self.fault_penalty_cycles = fault_penalty_cycles
+        self.name = name
+        self._entries: Dict[int, int] = {}
+        self._fault_handler: Optional[FaultHandler] = None
+        self.stats = StatSet(f"{name}.stats")
+
+    # ------------------------------------------------------------------ #
+    # Page math
+    # ------------------------------------------------------------------ #
+    @property
+    def page_size(self) -> int:
+        return 1 << self.page_bits
+
+    def vpn_of(self, addr: int) -> int:
+        return addr >> self.page_bits
+
+    def offset_of(self, addr: int) -> int:
+        return addr & (self.page_size - 1)
+
+    # ------------------------------------------------------------------ #
+    # Software interface (MMIO-driven in the real system)
+    # ------------------------------------------------------------------ #
+    def install(self, vpn: int, ppn: int) -> None:
+        """Install a translation; evicts an arbitrary entry when full."""
+        if len(self._entries) >= self.capacity and vpn not in self._entries:
+            evicted_vpn = next(iter(self._entries))
+            del self._entries[evicted_vpn]
+            self.stats.counter("evictions").increment()
+        self._entries[vpn] = ppn
+
+    def invalidate(self, vpn: Optional[int] = None) -> None:
+        """Drop one translation, or all of them when ``vpn`` is None."""
+        if vpn is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(vpn, None)
+
+    def set_fault_handler(self, handler: Optional[FaultHandler]) -> None:
+        """Register the kernel-level interrupt handler used on TLB misses."""
+        self._fault_handler = handler
+
+    def identity_map(self, base_addr: int, size_bytes: int) -> None:
+        """Convenience: map a region's virtual pages onto themselves."""
+        first = self.vpn_of(base_addr)
+        last = self.vpn_of(base_addr + max(0, size_bytes - 1))
+        for vpn in range(first, last + 1):
+            self.install(vpn, vpn)
+
+    # ------------------------------------------------------------------ #
+    # Translation (generator; charges lookup and fault latency)
+    # ------------------------------------------------------------------ #
+    def translate(self, virtual_addr: int):
+        """Translate ``virtual_addr``; raises :class:`PageFault` if unmapped."""
+        yield self.domain.wait_cycles(self.lookup_cycles)
+        vpn = self.vpn_of(virtual_addr)
+        ppn = self._entries.get(vpn)
+        if ppn is not None:
+            self.stats.counter("hits").increment()
+            return (ppn << self.page_bits) | self.offset_of(virtual_addr)
+        self.stats.counter("misses").increment()
+        if self._fault_handler is None:
+            raise PageFault(virtual_addr)
+        # Interrupt a processor; the kernel walks the page table and either
+        # installs the mapping via MMIOs or kills the accelerator.
+        yield self.domain.wait_cycles(self.fault_penalty_cycles)
+        ppn = self._fault_handler(vpn)
+        if ppn is None:
+            raise PageFault(virtual_addr)
+        self.install(vpn, ppn)
+        self.stats.counter("fault_fills").increment()
+        return (ppn << self.page_bits) | self.offset_of(virtual_addr)
+
+    def __contains__(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,27 @@
+"""Processor model.
+
+Dolly's P-Tiles host Ariane cores: 6-stage, single-issue, in-order, 64-bit
+RISC-V processors.  The evaluation never depends on ISA details — what
+matters is the per-instruction memory behaviour, the strict ordering of
+MMIO accesses (which is what the Shadow Registers exist to soften), and the
+synchronization primitives (spin locks, MCS locks, barriers) whose
+contention the hardware-augmentation benchmarks eliminate.  This package
+models exactly those aspects: an in-order core that executes Python
+"programs" written against :class:`CpuContext`, an MMIO port with strict
+ordering, and software synchronization built on the coherent memory system.
+"""
+
+from repro.cpu.mmio import MmioMap, MmioPort
+from repro.cpu.core import Core, CoreConfig, CpuContext
+from repro.cpu.sync import Barrier, McsLock, SpinLock
+
+__all__ = [
+    "MmioMap",
+    "MmioPort",
+    "Core",
+    "CoreConfig",
+    "CpuContext",
+    "SpinLock",
+    "McsLock",
+    "Barrier",
+]

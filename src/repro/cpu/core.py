@@ -1,0 +1,170 @@
+"""In-order core timing model and the software-visible CPU context.
+
+A "program" is a Python generator function taking a :class:`CpuContext` as
+its first argument.  The context exposes the primitives a bare-metal C
+program would compile down to — loads, stores, atomics, MMIO accesses and
+blocks of pure compute — and charges time for each through the core's cache
+agent, MMIO port and clock domain.  Programs compose with ``yield from``,
+mirroring how the rest of the simulator is written.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.cpu.mmio import MmioPort
+from repro.mem.private_cache import PrivateCacheAgent
+from repro.sim import ClockDomain, Process, Simulator, StatSet
+
+
+@dataclass
+class CoreConfig:
+    """Per-instruction costs of the in-order pipeline.
+
+    The Ariane core is single-issue and in-order, so ALU work is one
+    instruction per cycle; floating-point latency reflects the shared FPU.
+    """
+
+    issue_width: int = 1
+    int_op_cycles: float = 1.0
+    fp_op_cycles: float = 4.0
+    branch_cycles: float = 1.0
+    #: Fixed front-end overhead charged per memory instruction in addition
+    #: to the cache access time.
+    mem_issue_cycles: float = 1.0
+
+
+class CpuContext:
+    """What a program sees: the ISA-level interface of one core."""
+
+    def __init__(self, core: "Core") -> None:
+        self._core = core
+
+    # -- identity ------------------------------------------------------- #
+    @property
+    def core_id(self) -> int:
+        return self._core.core_id
+
+    @property
+    def sim(self) -> Simulator:
+        return self._core.sim
+
+    @property
+    def now(self) -> float:
+        return self._core.sim.now
+
+    @property
+    def memory(self):
+        return self._core.cache.memory
+
+    # -- compute -------------------------------------------------------- #
+    def compute(self, instructions: float = 1.0, fp: bool = False):
+        """Charge ``instructions`` worth of ALU/FPU work."""
+        config = self._core.config
+        per_op = config.fp_op_cycles if fp else config.int_op_cycles
+        cycles = max(1.0, instructions * per_op / config.issue_width)
+        self._core.stats.counter("instructions").increment(int(instructions))
+        yield self._core.domain.wait_cycles(int(round(cycles)))
+        return None
+
+    def stall(self, cycles: int):
+        """Explicitly stall the pipeline for ``cycles`` core cycles."""
+        yield self._core.domain.wait_cycles(cycles)
+        return None
+
+    # -- memory --------------------------------------------------------- #
+    def load(self, addr: int):
+        yield from self._issue()
+        value = yield from self._core.cache.load(addr)
+        self._core.stats.counter("loads").increment()
+        return value
+
+    def store(self, addr: int, value: int = 0):
+        yield from self._issue()
+        yield from self._core.cache.store(addr, value)
+        self._core.stats.counter("stores").increment()
+        return None
+
+    def amo(self, addr: int, fn: Callable[[int], int]):
+        """Atomic read-modify-write; returns the old value."""
+        yield from self._issue()
+        old = yield from self._core.cache.amo(addr, fn)
+        self._core.stats.counter("atomics").increment()
+        return old
+
+    def cas(self, addr: int, expected: int, desired: int):
+        """Compare-and-swap; returns True on success."""
+        old = yield from self.amo(addr, lambda v: desired if v == expected else v)
+        return old == expected
+
+    def fetch_add(self, addr: int, delta: int):
+        old = yield from self.amo(addr, lambda v: v + delta)
+        return old
+
+    def swap(self, addr: int, value: int):
+        old = yield from self.amo(addr, lambda v: value)
+        return old
+
+    def flush(self, addr: int):
+        """Flush one line back to the LLC (used around DMA-style hand-offs)."""
+        yield from self._core.cache.flush_line(addr)
+        return None
+
+    def fence(self):
+        """Full fence: in this in-order model, a single-cycle drain."""
+        yield self._core.domain.wait_cycles(1)
+        return None
+
+    # -- MMIO ----------------------------------------------------------- #
+    def mmio_read(self, addr: int):
+        if self._core.mmio is None:
+            raise RuntimeError(f"core {self.core_id} has no MMIO port")
+        value = yield from self._core.mmio.read(addr)
+        return value
+
+    def mmio_write(self, addr: int, value: int):
+        if self._core.mmio is None:
+            raise RuntimeError(f"core {self.core_id} has no MMIO port")
+        yield from self._core.mmio.write(addr, value)
+        return None
+
+    def _issue(self):
+        yield self._core.domain.wait_cycles(int(self._core.config.mem_issue_cycles))
+        return None
+
+
+#: A program is a callable producing a generator when given a CpuContext.
+Program = Callable[..., Generator[Any, Any, Any]]
+
+
+class Core:
+    """One in-order processor: a clock domain, a cache agent and an MMIO port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        domain: ClockDomain,
+        core_id: int,
+        cache: PrivateCacheAgent,
+        mmio: Optional[MmioPort] = None,
+        config: Optional[CoreConfig] = None,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.domain = domain
+        self.core_id = core_id
+        self.cache = cache
+        self.mmio = mmio
+        self.config = config or CoreConfig()
+        self.name = name or f"core{core_id}"
+        self.stats = StatSet(f"{self.name}.stats")
+        self.context = CpuContext(self)
+
+    def run(self, program: Program, *args: Any, name: str = "", **kwargs: Any) -> Process:
+        """Start ``program(ctx, *args, **kwargs)`` as a simulation process."""
+        generator = program(self.context, *args, **kwargs)
+        return self.sim.process(generator, name=name or f"{self.name}.{program.__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Core {self.name} @{self.domain.freq_mhz:.0f}MHz>"

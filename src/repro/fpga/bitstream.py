@@ -1,0 +1,78 @@
+"""Bitstream generation and integrity checking.
+
+The Control Hub's programming engine "loads the bitstream into the
+configuration memory, and performs integrity checks to detect data
+corruption" (Sec. II-E).  The bitstream here is a deterministic pseudo-random
+byte string derived from the design (so tests can corrupt and re-check it),
+sized from the fabric's configuration bits, with a CRC-32 trailer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fpga.fabric import FabricInstance
+from repro.fpga.synthesis import AcceleratorDesign
+
+
+class BitstreamError(RuntimeError):
+    """Raised when a bitstream fails its integrity check."""
+
+
+@dataclass
+class Bitstream:
+    """A configuration image for one fabric, carrying its own checksum."""
+
+    design_name: str
+    data: bytes
+    crc: int
+    config_bits: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+    def verify(self) -> bool:
+        """Return True when the payload still matches its checksum."""
+        return zlib.crc32(self.data) == self.crc
+
+    def corrupted(self, offset: int = 0, flip_mask: int = 0xFF) -> "Bitstream":
+        """Return a copy with one byte flipped (for fault-injection tests)."""
+        if not self.data:
+            raise BitstreamError("cannot corrupt an empty bitstream")
+        offset %= len(self.data)
+        mutated = bytearray(self.data)
+        mutated[offset] ^= flip_mask
+        return Bitstream(
+            design_name=self.design_name,
+            data=bytes(mutated),
+            crc=self.crc,
+            config_bits=self.config_bits,
+            meta=dict(self.meta),
+        )
+
+    @classmethod
+    def generate(
+        cls, design: AcceleratorDesign, fabric: FabricInstance, meta: Optional[dict] = None
+    ) -> "Bitstream":
+        """Produce a deterministic bitstream for ``design`` on ``fabric``."""
+        config_bits = fabric.config_bits
+        size_bytes = max(1, config_bits // 8)
+        seed = f"{design.name}:{fabric.columns}x{fabric.rows}".encode()
+        chunks = []
+        digest = hashlib.sha256(seed).digest()
+        while sum(len(chunk) for chunk in chunks) < size_bytes:
+            chunks.append(digest)
+            digest = hashlib.sha256(digest).digest()
+        data = b"".join(chunks)[:size_bytes]
+        return cls(
+            design_name=design.name,
+            data=data,
+            crc=zlib.crc32(data),
+            config_bits=config_bits,
+            meta=meta or {},
+        )

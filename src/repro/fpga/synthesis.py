@@ -1,0 +1,159 @@
+"""Analytic synthesis model: accelerator design -> frequency, area, utilization.
+
+The paper synthesizes each accelerator with Yosys/Catapult, places and
+routes it with the PRGA/VTR flow, and reports (Table II) the maximum clock
+frequency, the eFPGA silicon area normalized to one Ariane + one P-Mesh
+socket, and CLB/BRAM utilization.  Without those tools, this module uses an
+analytic timing model — LUT levels on the critical path plus a routing
+penalty that grows with device size — and the fabric area model of
+:mod:`repro.fpga.fabric`.  Each accelerator in :mod:`repro.accel` carries a
+resource descriptor (LUTs, flip-flops, BRAM bits, DSPs, logic depth)
+estimated from its structure, so the flow from "design" to "Table II row"
+is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.fpga.fabric import FabricInstance, FabricSpec
+
+
+@dataclass(frozen=True)
+class AcceleratorDesign:
+    """Post-synthesis resource requirements of one soft accelerator."""
+
+    name: str
+    luts: int
+    ffs: int
+    bram_kbits: int = 0
+    dsps: int = 0
+    #: LUT levels on the critical path (drives Fmax).
+    logic_depth: int = 8
+    #: Fraction of nets that are long (routing-dominated) — raises wire delay.
+    routing_pressure: float = 0.3
+    #: Number of coherent memory ports the accelerator uses (Dolly's "M").
+    mem_ports: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.luts < 1:
+            raise ValueError(f"{self.name}: a design needs at least one LUT")
+        if not (0.0 <= self.routing_pressure <= 1.0):
+            raise ValueError(f"{self.name}: routing_pressure must be in [0, 1]")
+        if self.logic_depth < 1:
+            raise ValueError(f"{self.name}: logic_depth must be >= 1")
+
+
+@dataclass
+class SynthesisResult:
+    """What the place-and-route flow reports for one design."""
+
+    design: AcceleratorDesign
+    fabric: FabricInstance
+    fmax_mhz: float
+    clbs_used: int
+    bram_tiles_used: int
+    dsps_used: int
+    area_mm2: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def clb_utilization(self) -> float:
+        return self.clbs_used / self.fabric.total_clbs if self.fabric.total_clbs else 0.0
+
+    @property
+    def bram_utilization(self) -> float:
+        total = self.fabric.total_bram_tiles
+        return self.bram_tiles_used / total if total else 0.0
+
+    def normalized_area(self, reference_area_mm2: float) -> float:
+        """Area normalized to a reference block (Ariane + P-Mesh socket)."""
+        return self.area_mm2 / reference_area_mm2
+
+
+class SynthesisModel:
+    """Maps :class:`AcceleratorDesign` onto a fabric and estimates timing."""
+
+    def __init__(
+        self,
+        spec: Optional[FabricSpec] = None,
+        lut_delay_ns: float = 0.18,
+        wire_delay_ns: float = 0.45,
+        cdc_margin_ns: float = 0.35,
+        utilization_slack: float = 1.15,
+    ) -> None:
+        self.spec = spec or FabricSpec()
+        self.lut_delay_ns = lut_delay_ns
+        self.wire_delay_ns = wire_delay_ns
+        self.cdc_margin_ns = cdc_margin_ns
+        self.utilization_slack = utilization_slack
+
+    # ------------------------------------------------------------------ #
+    # Resource mapping
+    # ------------------------------------------------------------------ #
+    def clbs_needed(self, design: AcceleratorDesign) -> int:
+        by_luts = math.ceil(design.luts / self.spec.luts_per_clb)
+        by_ffs = math.ceil(design.ffs / self.spec.ffs_per_clb)
+        return max(by_luts, by_ffs, 1)
+
+    def bram_tiles_needed(self, design: AcceleratorDesign) -> int:
+        return math.ceil(design.bram_kbits / self.spec.bram_kbits_per_tile)
+
+    # ------------------------------------------------------------------ #
+    # Timing model
+    # ------------------------------------------------------------------ #
+    def critical_path_ns(self, design: AcceleratorDesign, fabric: FabricInstance) -> float:
+        """Logic delay + routing delay; routing grows with device diameter."""
+        logic = design.logic_depth * self.lut_delay_ns
+        # Average wire length scales with the square root of the used area;
+        # routing pressure weights how many critical nets are long.
+        diameter = math.sqrt(max(1, fabric.total_tiles))
+        routing = (
+            design.logic_depth
+            * self.wire_delay_ns
+            * (0.4 + design.routing_pressure * 0.05 * diameter)
+        )
+        return logic + routing + self.cdc_margin_ns
+
+    # ------------------------------------------------------------------ #
+    # Full flow
+    # ------------------------------------------------------------------ #
+    def implement(
+        self, design: AcceleratorDesign, fabric: Optional[FabricInstance] = None
+    ) -> SynthesisResult:
+        """Run the "synthesis + place-and-route" flow for ``design``.
+
+        If ``fabric`` is omitted, the smallest fabric that fits the design
+        (plus routing slack) is generated, which is how the per-benchmark
+        eFPGA areas of Table II are produced.
+        """
+        clbs = self.clbs_needed(design)
+        bram_tiles = self.bram_tiles_needed(design)
+        if fabric is None:
+            fabric = FabricInstance.minimal_for(
+                self.spec,
+                clbs,
+                design.bram_kbits,
+                design.dsps,
+                slack=self.utilization_slack,
+            )
+        elif not fabric.fits(clbs, design.bram_kbits, design.dsps):
+            raise ValueError(
+                f"design {design.name!r} does not fit fabric {fabric!r} "
+                f"(needs {clbs} CLBs, {design.bram_kbits} Kb BRAM, {design.dsps} DSPs)"
+            )
+        period_ns = self.critical_path_ns(design, fabric)
+        fmax_mhz = 1000.0 / period_ns
+        return SynthesisResult(
+            design=design,
+            fabric=fabric,
+            fmax_mhz=fmax_mhz,
+            clbs_used=clbs,
+            bram_tiles_used=bram_tiles,
+            dsps_used=design.dsps,
+            area_mm2=fabric.area_mm2,
+            extra={"critical_path_ns": period_ns},
+        )

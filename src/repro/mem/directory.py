@@ -1,0 +1,284 @@
+"""LLC shard + directory slice.
+
+Each tile hosts one 64 KB LLC shard and the directory slice for the lines
+whose home it is.  The directory runs a blocking protocol: one outstanding
+transaction per line, with later requests for the same line queued in
+arrival order.  Forward traffic (invalidations, ownership transfers) uses
+the FORWARD NoC plane and acknowledgements return on the RESPONSE plane, so
+queuing requests never blocks the messages needed to finish the current
+transaction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set, Tuple
+
+from repro.mem.address import AddressMap
+from repro.mem.cache_store import SetAssociativeCache
+from repro.mem.config import MemoryConfig
+from repro.mem.dram import MainMemory
+from repro.mem.protocol import CoherenceState, DirectoryState, MsgKind
+from repro.noc import MessagePlane, NocMessage, TileRouter
+from repro.sim import ClockDomain, Simulator, StatSet
+
+#: A coherence participant is identified by its (node, target) pair.
+AgentId = Tuple[int, str]
+
+
+@dataclass
+class DirectoryEntry:
+    """Per-line directory state."""
+
+    state: DirectoryState = DirectoryState.UNOWNED
+    owner: Optional[AgentId] = None
+    sharers: Set[AgentId] = field(default_factory=set)
+
+
+@dataclass
+class _AckCollector:
+    """Tracks the acknowledgements the in-flight transaction is waiting for."""
+
+    event: "Event"  # noqa: F821 - sim Event
+    needed: int
+    received: int = 0
+
+
+class DirectoryShard:
+    """One tile's LLC shard plus its slice of the MESI directory."""
+
+    TARGET = "llc"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        domain: ClockDomain,
+        tile_router: TileRouter,
+        address_map: AddressMap,
+        config: MemoryConfig,
+        memory: MainMemory,
+        name: str = "",
+    ) -> None:
+        self.sim = sim
+        self.domain = domain
+        self.node = tile_router.node
+        self.address_map = address_map
+        self.config = config
+        self.memory = memory
+        self.name = name or f"llc{self.node}"
+        self.port = tile_router.port(self.TARGET, self._handle)
+        self.data_store = SetAssociativeCache(
+            config.llc_shard_size_bytes, config.line_bytes, config.llc_assoc, name=f"{self.name}.data"
+        )
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self._busy: Set[int] = set()
+        self._queued: Dict[int, Deque[NocMessage]] = {}
+        self._collectors: Dict[int, _AckCollector] = {}
+        self.stats = StatSet(f"{self.name}.stats")
+
+    # ------------------------------------------------------------------ #
+    # Directory state access
+    # ------------------------------------------------------------------ #
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        if line_addr not in self._entries:
+            self._entries[line_addr] = DirectoryEntry()
+        return self._entries[line_addr]
+
+    def debug_install(self, line_addr: int, agent: AgentId, modified: bool) -> None:
+        """Directly record ``agent`` as holder of ``line_addr`` (pre-sim warm-up only)."""
+        entry = self.entry(line_addr)
+        if modified:
+            entry.state = DirectoryState.EXCLUSIVE
+            entry.owner = agent
+            entry.sharers = set()
+        else:
+            if entry.state is DirectoryState.EXCLUSIVE:
+                raise RuntimeError("cannot add a sharer to an exclusively-owned line")
+            entry.state = DirectoryState.SHARED
+            entry.sharers.add(agent)
+        self.data_store.insert(line_addr, CoherenceState.SHARED)
+
+    # ------------------------------------------------------------------ #
+    # NoC handling
+    # ------------------------------------------------------------------ #
+    def _handle(self, message: NocMessage) -> None:
+        if message.kind in MsgKind.REQUESTS:
+            line = self.address_map.line_of(message.addr)
+            if line in self._busy:
+                self.stats.counter("requests_queued").increment()
+                self._queued.setdefault(line, deque()).append(message)
+            else:
+                self._busy.add(line)
+                self.sim.process(self._serve(message), name=f"{self.name}-serve-{message.msg_id}")
+        elif message.kind in (MsgKind.INV_ACK, MsgKind.WB_DATA, MsgKind.TRANSFER_ACK):
+            self._collect_ack(message)
+        else:
+            raise RuntimeError(f"{self.name}: unexpected message kind {message.kind!r}")
+
+    def _collect_ack(self, message: NocMessage) -> None:
+        line = self.address_map.line_of(message.addr)
+        collector = self._collectors.get(line)
+        if collector is None:
+            # A late ack for a transaction that already completed (benign).
+            self.stats.counter("stray_acks").increment()
+            return
+        collector.received += 1
+        if message.kind == MsgKind.WB_DATA:
+            self.data_store.insert(line, CoherenceState.SHARED, dirty=True)
+        if collector.received >= collector.needed:
+            del self._collectors[line]
+            collector.event.succeed(message)
+
+    # ------------------------------------------------------------------ #
+    # Request serving
+    # ------------------------------------------------------------------ #
+    def _serve(self, message: NocMessage):
+        line = self.address_map.line_of(message.addr)
+        requester: AgentId = (message.meta["reply_node"], message.meta["reply_target"])
+        self.stats.counter(f"req_{message.kind}").increment()
+        yield self.domain.wait_cycles(self.config.llc_latency_cycles)
+        if message.kind == MsgKind.GET_S:
+            yield from self._serve_get_s(message, line, requester)
+        elif message.kind == MsgKind.GET_M:
+            yield from self._serve_get_m(message, line, requester)
+        elif message.kind in (MsgKind.PUT_M, MsgKind.PUT_S):
+            yield from self._serve_put(message, line, requester)
+        self._release(line)
+
+    def _serve_get_s(self, message: NocMessage, line: int, requester: AgentId):
+        entry = self.entry(line)
+        if entry.state is DirectoryState.UNOWNED:
+            yield from self._access_data(line)
+            entry.state = DirectoryState.EXCLUSIVE
+            entry.owner = requester
+            entry.sharers = set()
+            self._send_data(requester, line, grant="E")
+        elif entry.state is DirectoryState.SHARED:
+            yield from self._access_data(line)
+            entry.sharers.add(requester)
+            self._send_data(requester, line, grant="S")
+        else:  # EXCLUSIVE
+            owner = entry.owner
+            if owner == requester:
+                self._send_data(requester, line, grant="E")
+                return
+            done = self._expect_acks(line, 1)
+            self.port.send(
+                owner[0],
+                owner[1],
+                MsgKind.FWD_GET_S,
+                addr=line,
+                plane=MessagePlane.FORWARD,
+                requester_node=requester[0],
+                requester_target=requester[1],
+            )
+            yield done
+            entry.state = DirectoryState.SHARED
+            entry.sharers = {owner, requester}
+            entry.owner = None
+
+    def _serve_get_m(self, message: NocMessage, line: int, requester: AgentId):
+        entry = self.entry(line)
+        if entry.state is DirectoryState.UNOWNED:
+            yield from self._access_data(line)
+            entry.state = DirectoryState.EXCLUSIVE
+            entry.owner = requester
+            entry.sharers = set()
+            self._send_data(requester, line, grant="M")
+        elif entry.state is DirectoryState.SHARED:
+            others = {sharer for sharer in entry.sharers if sharer != requester}
+            if others:
+                done = self._expect_acks(line, len(others))
+                for sharer in others:
+                    self.port.send(
+                        sharer[0],
+                        sharer[1],
+                        MsgKind.INV,
+                        addr=line,
+                        plane=MessagePlane.FORWARD,
+                    )
+                yield done
+            yield from self._access_data(line)
+            already_had_data = requester in entry.sharers
+            entry.state = DirectoryState.EXCLUSIVE
+            entry.owner = requester
+            entry.sharers = set()
+            self._send_data(requester, line, grant="M", data=not already_had_data)
+        else:  # EXCLUSIVE
+            owner = entry.owner
+            if owner == requester:
+                self._send_data(requester, line, grant="M", data=False)
+                return
+            done = self._expect_acks(line, 1)
+            self.port.send(
+                owner[0],
+                owner[1],
+                MsgKind.FWD_GET_M,
+                addr=line,
+                plane=MessagePlane.FORWARD,
+                requester_node=requester[0],
+                requester_target=requester[1],
+            )
+            yield done
+            entry.owner = requester
+            entry.sharers = set()
+
+    def _serve_put(self, message: NocMessage, line: int, requester: AgentId):
+        entry = self.entry(line)
+        if entry.state is DirectoryState.EXCLUSIVE and entry.owner == requester:
+            entry.state = DirectoryState.UNOWNED
+            entry.owner = None
+            if message.kind == MsgKind.PUT_M:
+                self.data_store.insert(line, CoherenceState.SHARED, dirty=True)
+        elif entry.state is DirectoryState.SHARED and requester in entry.sharers:
+            entry.sharers.discard(requester)
+            if not entry.sharers:
+                entry.state = DirectoryState.UNOWNED
+        # else: stale eviction that raced with a forward — nothing to update.
+        yield self.domain.wait_cycles(1)
+        self.port.reply(message, MsgKind.PUT_ACK)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _access_data(self, line: int):
+        """Charge the LLC data access; on a miss, add the DRAM latency."""
+        if self.data_store.lookup(line) is None:
+            self.stats.counter("llc_misses").increment()
+            yield self.domain.sim.timeout(self.memory.latency_ns)
+            self.data_store.insert(line, CoherenceState.SHARED)
+        else:
+            self.stats.counter("llc_hits").increment()
+        return None
+
+    def _expect_acks(self, line: int, needed: int):
+        event = self.sim.event(f"{self.name}.acks@{line:x}")
+        self._collectors[line] = _AckCollector(event=event, needed=needed)
+        return event
+
+    def _send_data(self, requester: AgentId, line: int, grant: str, data: bool = True) -> None:
+        self.port.send(
+            requester[0],
+            requester[1],
+            MsgKind.DATA,
+            addr=line,
+            plane=MessagePlane.RESPONSE,
+            size_bytes=self.config.line_bytes if data else 0,
+            grant=grant,
+        )
+
+    def _release(self, line: int) -> None:
+        queued = self._queued.get(line)
+        if queued:
+            next_message = queued.popleft()
+            if not queued:
+                del self._queued[line]
+            self.sim.process(
+                self._serve(next_message), name=f"{self.name}-serve-{next_message.msg_id}"
+            )
+        else:
+            self._busy.discard(line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DirectoryShard {self.name} node={self.node}>"

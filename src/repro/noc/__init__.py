@@ -1,0 +1,25 @@
+"""Network-on-chip substrate.
+
+Dolly (Sec. IV of the paper) is built on the OpenPiton P-Mesh NoC: a 2D mesh
+with XY routing, three physical planes (request / forward-response / data in
+the original), and point-to-point ordered delivery — a property the Proxy
+Cache's no-acknowledgement protocol explicitly relies on.  This package
+provides a transaction-level model of that network: deterministic XY routes,
+per-link serialization for contention, per-plane resources, and in-order
+delivery between any (source, destination) pair.
+"""
+
+from repro.noc.message import NocMessage, MessagePlane
+from repro.noc.topology import Mesh2D
+from repro.noc.network import MeshNetwork, NocEndpoint
+from repro.noc.port import NocPort, TileRouter
+
+__all__ = [
+    "NocMessage",
+    "MessagePlane",
+    "Mesh2D",
+    "MeshNetwork",
+    "NocEndpoint",
+    "NocPort",
+    "TileRouter",
+]

@@ -1,0 +1,74 @@
+"""NoC message container.
+
+The NoC is payload-agnostic: the memory system and the Duet Adapter define
+their own message kinds (coherence requests, MMIO reads, ...) and hand them
+to the network as :class:`NocMessage` instances.  The message records
+timestamps as it moves through the system so the analysis layer can rebuild
+the latency breakdown of Fig. 9 (NoC time vs. cache time vs. CDC time).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_message_ids = itertools.count()
+
+#: Bytes carried per flit on the P-Mesh-like data path.
+FLIT_BYTES = 8
+
+
+class MessagePlane(enum.IntEnum):
+    """Physical NoC planes, mirroring OpenPiton's three-NoC split.
+
+    Separating requests, forwards and responses onto independent planes is
+    what makes the blocking directory protocol deadlock-free.
+    """
+
+    REQUEST = 0
+    FORWARD = 1
+    RESPONSE = 2
+
+
+@dataclass
+class NocMessage:
+    """A single NoC packet.
+
+    ``kind`` is a free-form string interpreted by the endpoint (for example
+    ``"GetS"`` or ``"mmio_read"``); ``payload`` carries the protocol-level
+    object.  ``size_bytes`` determines the number of data flits and hence the
+    serialization latency on each link.
+    """
+
+    src: int
+    dst: int
+    kind: str
+    payload: Any = None
+    addr: Optional[int] = None
+    size_bytes: int = 0
+    plane: MessagePlane = MessagePlane.REQUEST
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    timestamps: Dict[str, float] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def flits(self) -> int:
+        """Header flit plus one flit per :data:`FLIT_BYTES` of payload."""
+        data_flits = (self.size_bytes + FLIT_BYTES - 1) // FLIT_BYTES
+        return 1 + data_flits
+
+    def stamp(self, label: str, time_ns: float) -> None:
+        """Record a named timestamp (first occurrence wins)."""
+        self.timestamps.setdefault(label, time_ns)
+
+    def noc_latency(self) -> float:
+        """Time spent in the network, if both endpoints stamped the message."""
+        if "injected" in self.timestamps and "delivered" in self.timestamps:
+            return self.timestamps["delivered"] - self.timestamps["injected"]
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        addr = f" addr=0x{self.addr:x}" if self.addr is not None else ""
+        return f"<NocMessage #{self.msg_id} {self.kind} {self.src}->{self.dst}{addr}>"

@@ -1,0 +1,126 @@
+"""Transaction-level mesh network with per-link contention.
+
+Each directed link carries one flit per NoC cycle and serves messages in
+arrival order; each of the three planes has its own set of link resources.
+A message of ``F`` flits crossing ``H`` hops therefore takes roughly
+``H * (router_latency + F)`` cycles when the network is idle, and longer
+under contention — enough fidelity for the bandwidth and scalability studies
+of Sec. V-C without simulating individual flits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.noc.message import MessagePlane, NocMessage
+from repro.noc.topology import Mesh2D
+from repro.sim import ClockDomain, Delay, Event, Simulator, StatSet
+
+#: Signature of an endpoint's message handler.
+MessageHandler = Callable[[NocMessage], None]
+
+
+class NocEndpoint:
+    """Mixin-ish helper describing what the network expects from an endpoint."""
+
+    def handle_noc_message(self, message: NocMessage) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class MeshNetwork:
+    """A 2D-mesh NoC in the system (fast) clock domain.
+
+    Endpoints attach a handler per node; :meth:`send` injects a message and
+    returns an :class:`Event` that fires at delivery time (most senders
+    ignore it).  Delivery calls the destination handler synchronously at the
+    delivery instant, so handlers should only enqueue work or spawn
+    processes, never block.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        domain: ClockDomain,
+        width: int,
+        height: int,
+        router_latency_cycles: int = 1,
+        name: str = "noc",
+    ) -> None:
+        self.sim = sim
+        self.domain = domain
+        self.topology = Mesh2D(width, height)
+        self.router_latency_cycles = router_latency_cycles
+        self.name = name
+        self._handlers: Dict[int, MessageHandler] = {}
+        # (plane, src, dst) -> time the link becomes free
+        self._link_free_at: Dict[Tuple[int, int, int], float] = {}
+        self.stats = StatSet(f"{name}.stats")
+
+    # ------------------------------------------------------------------ #
+    # Endpoint management
+    # ------------------------------------------------------------------ #
+    def attach(self, node: int, handler: MessageHandler) -> None:
+        """Register the message handler for ``node`` (exactly one per node)."""
+        self.topology._check_node(node)
+        if node in self._handlers:
+            raise ValueError(f"node {node} already has a handler attached")
+        self._handlers[node] = handler
+
+    def detach(self, node: int) -> None:
+        self._handlers.pop(node, None)
+
+    # ------------------------------------------------------------------ #
+    # Message injection
+    # ------------------------------------------------------------------ #
+    def send(self, message: NocMessage) -> Event:
+        """Inject ``message``; returns an event fired at delivery."""
+        if message.dst not in self._handlers:
+            raise ValueError(f"no handler attached at destination node {message.dst}")
+        delivered = self.sim.event(f"{self.name}.delivered#{message.msg_id}")
+        message.stamp("injected", self.sim.now)
+        self.stats.counter("messages_sent").increment()
+        self.stats.counter("flits_sent").increment(message.flits)
+        self.sim.process(self._transfer(message, delivered), name=f"noc-xfer-{message.msg_id}")
+        return delivered
+
+    def _transfer(self, message: NocMessage, delivered: Event):
+        cycle = self.domain.period_ns
+        route = self.topology.route(message.src, message.dst)
+        # Injection is aligned to the NoC clock even for local (same-tile)
+        # delivery: the endpoint's NoC interface still clocks the packet in.
+        yield self.domain.align()
+        for src, dst in route:
+            key = (int(message.plane), src, dst)
+            # Reserve the link in arrival order: the message occupies the link
+            # from the later of "now" and "link free", for its serialization
+            # time.  Reserving before waiting keeps per-link FIFO order even
+            # when many messages are queued behind the same link.
+            start = max(self.sim.now, self._link_free_at.get(key, 0.0))
+            if start > self.sim.now:
+                self.stats.histogram("link_wait_ns").record(start - self.sim.now)
+            transfer_ns = (self.router_latency_cycles + message.flits) * cycle
+            self._link_free_at[key] = start + transfer_ns
+            yield Delay(start + transfer_ns - self.sim.now)
+        if not route:
+            # Local delivery still pays one router traversal.
+            yield Delay(self.router_latency_cycles * cycle)
+        message.stamp("delivered", self.sim.now)
+        self.stats.histogram("message_latency_ns").record(message.noc_latency())
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            raise RuntimeError(f"handler for node {message.dst} detached mid-flight")
+        handler(message)
+        delivered.succeed(self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        return self.topology.node_count
+
+    def mean_latency_ns(self) -> float:
+        return self.stats.histogram("message_latency_ns").mean
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MeshNetwork {self.topology.width}x{self.topology.height} @{self.domain.freq_mhz}MHz>"

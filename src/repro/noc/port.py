@@ -1,0 +1,94 @@
+"""Tile-level dispatch and per-component NoC ports.
+
+A physical tile hosts several NoC clients (the private L2 agent, the LLC
+shard / directory slice, and — on C- and M-tiles — the Duet Adapter's hubs).
+They share the tile's single mesh attachment point: a :class:`TileRouter`
+receives every packet addressed to the tile and dispatches on the packet's
+``target`` label, and each component talks to the network through a
+:class:`NocPort` bound to its (node, target) identity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.noc.message import MessagePlane, NocMessage
+from repro.noc.network import MeshNetwork
+from repro.sim import Event
+
+
+class TileRouter:
+    """Demultiplexes packets arriving at one mesh node onto local components."""
+
+    def __init__(self, network: MeshNetwork, node: int) -> None:
+        self.network = network
+        self.node = node
+        self._targets: Dict[str, Callable[[NocMessage], None]] = {}
+        network.attach(node, self._dispatch)
+
+    def register(self, target: str, handler: Callable[[NocMessage], None]) -> None:
+        if target in self._targets:
+            raise ValueError(f"target {target!r} already registered on node {self.node}")
+        self._targets[target] = handler
+
+    def port(self, target: str, handler: Callable[[NocMessage], None] = None) -> "NocPort":
+        """Create a :class:`NocPort` for ``target``, optionally registering a handler."""
+        if handler is not None:
+            self.register(target, handler)
+        return NocPort(self.network, self.node, target)
+
+    def _dispatch(self, message: NocMessage) -> None:
+        target = message.meta.get("target")
+        handler = self._targets.get(target)
+        if handler is None:
+            raise RuntimeError(
+                f"node {self.node} received message for unknown target {target!r}: {message}"
+            )
+        handler(message)
+
+
+class NocPort:
+    """A component's handle for sending NoC messages from a fixed (node, target)."""
+
+    def __init__(self, network: MeshNetwork, node: int, target: str) -> None:
+        self.network = network
+        self.node = node
+        self.target = target
+
+    def send(
+        self,
+        dst_node: int,
+        dst_target: str,
+        kind: str,
+        addr: int = None,
+        payload=None,
+        size_bytes: int = 0,
+        plane: MessagePlane = MessagePlane.REQUEST,
+        **meta,
+    ) -> Event:
+        """Build and inject a message; returns the delivery event."""
+        message = NocMessage(
+            src=self.node,
+            dst=dst_node,
+            kind=kind,
+            addr=addr,
+            payload=payload,
+            size_bytes=size_bytes,
+            plane=plane,
+        )
+        message.meta["target"] = dst_target
+        message.meta["reply_node"] = self.node
+        message.meta["reply_target"] = self.target
+        message.meta.update(meta)
+        return self.network.send(message)
+
+    def reply(self, original: NocMessage, kind: str, **kwargs) -> Event:
+        """Send a response back to the originator of ``original``."""
+        return self.send(
+            original.meta["reply_node"],
+            original.meta["reply_target"],
+            kind,
+            addr=original.addr,
+            plane=MessagePlane.RESPONSE,
+            **kwargs,
+        )

@@ -1,0 +1,84 @@
+"""2D-mesh topology and XY routing.
+
+Tiles are numbered row-major: node ``n`` sits at ``(x, y) = (n % width,
+n // width)``.  Routes are dimension-ordered (X first, then Y), which makes
+them deterministic — together with FIFO links this yields the point-to-point
+ordering the coherence protocol and the Proxy Cache depend on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Link = Tuple[int, int]
+
+
+class Mesh2D:
+    """Coordinate math and route computation for a ``width`` x ``height`` mesh."""
+
+    def __init__(self, width: int, height: int) -> None:
+        if width < 1 or height < 1:
+            raise ValueError(f"mesh dimensions must be positive ({width}x{height})")
+        self.width = width
+        self.height = height
+
+    @property
+    def node_count(self) -> int:
+        return self.width * self.height
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        """Return the ``(x, y)`` coordinates of ``node``."""
+        self._check_node(node)
+        return node % self.width, node // self.width
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at coordinates ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"coordinates ({x}, {y}) outside {self.width}x{self.height} mesh")
+        return y * self.width + x
+
+    def hop_count(self, src: int, dst: int) -> int:
+        """Manhattan distance between two nodes."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def route(self, src: int, dst: int) -> List[Link]:
+        """Return the XY route as a list of directed links ``(from, to)``.
+
+        An empty list means source and destination are the same tile (the
+        message never enters the network fabric).
+        """
+        self._check_node(src)
+        self._check_node(dst)
+        links: List[Link] = []
+        x, y = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        current = src
+        while x != dx:
+            x += 1 if dx > x else -1
+            nxt = self.node_at(x, y)
+            links.append((current, nxt))
+            current = nxt
+        while y != dy:
+            y += 1 if dy > y else -1
+            nxt = self.node_at(x, y)
+            links.append((current, nxt))
+            current = nxt
+        return links
+
+    def neighbors(self, node: int) -> List[int]:
+        """Return the mesh neighbours of ``node``."""
+        x, y = self.coordinates(node)
+        result = []
+        for nx, ny in ((x - 1, y), (x + 1, y), (x, y - 1), (x, y + 1)):
+            if 0 <= nx < self.width and 0 <= ny < self.height:
+                result.append(self.node_at(nx, ny))
+        return result
+
+    def _check_node(self, node: int) -> None:
+        if not (0 <= node < self.node_count):
+            raise ValueError(f"node {node} outside mesh of {self.node_count} tiles")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Mesh2D {self.width}x{self.height}>"

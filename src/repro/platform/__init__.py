@@ -1,0 +1,30 @@
+"""System composition: Dolly instances and their baselines.
+
+``build_system`` assembles a complete simulated chip from a
+:class:`DollyConfig`: the 2D-mesh NoC, per-tile LLC shards and directory
+slices, Ariane-like cores with private caches and MMIO ports on the P-tiles,
+and — unless the system is processor-only — a Duet Adapter whose Control Hub
+sits on the C-tile and whose additional Memory Hubs occupy M-tiles, exactly
+like Fig. 8's Dolly-P2M2.  The same builder produces the FPSoC-like baseline
+of Sec. V-D by switching the adapter into ``fpsoc`` mode.
+
+The area model (Table I constants, eFPGA area, ADP) lives in
+:mod:`repro.platform.area`.
+"""
+
+from repro.platform.area import AreaModel, Table1Row, TABLE1_ROWS
+from repro.platform.config import DollyConfig, SystemKind
+from repro.platform.tiles import TilePlan, TileRole
+from repro.platform.dolly import DollySystem, build_system
+
+__all__ = [
+    "AreaModel",
+    "Table1Row",
+    "TABLE1_ROWS",
+    "DollyConfig",
+    "SystemKind",
+    "TilePlan",
+    "TileRole",
+    "DollySystem",
+    "build_system",
+]

@@ -1,0 +1,83 @@
+"""Physical tile planning for Dolly's 2D mesh.
+
+Dolly has three physical tile types (Sec. IV): P-tiles host an Ariane core,
+the C-tile hosts the Control Hub plus one Memory Hub, and M-tiles host one
+Memory Hub each.  Every tile also carries a P-Mesh socket: the private L2,
+the NoC router and one LLC shard.  The planner lays processors out first,
+then the C-tile, then the M-tiles, on the smallest near-square mesh that
+fits.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.platform.config import DollyConfig, SystemKind
+
+
+class TileRole(enum.Enum):
+    """What occupies a physical tile besides its P-Mesh socket."""
+
+    PROCESSOR = "P"
+    CONTROL = "C"
+    MEMORY = "M"
+    #: A tile carrying only its P-Mesh socket (filler on non-square meshes).
+    SOCKET_ONLY = "S"
+
+
+@dataclass
+class TilePlan:
+    """Assignment of roles to mesh nodes for one configuration."""
+
+    config: DollyConfig
+    width: int
+    height: int
+    roles: Dict[int, TileRole]
+
+    @property
+    def processor_tiles(self) -> List[int]:
+        return [node for node, role in sorted(self.roles.items()) if role is TileRole.PROCESSOR]
+
+    @property
+    def control_tile(self) -> int:
+        for node, role in self.roles.items():
+            if role is TileRole.CONTROL:
+                return node
+        raise LookupError("this plan has no control tile (processor-only system)")
+
+    @property
+    def memory_tiles(self) -> List[int]:
+        return [node for node, role in sorted(self.roles.items()) if role is TileRole.MEMORY]
+
+    @property
+    def all_tiles(self) -> List[int]:
+        return list(range(self.width * self.height))
+
+    @classmethod
+    def plan(cls, config: DollyConfig) -> "TilePlan":
+        """Lay out ``config`` on the smallest near-square mesh."""
+        tiles_needed = config.num_tiles
+        width = max(1, math.isqrt(tiles_needed))
+        if width * width < tiles_needed:
+            width += 1
+        height = math.ceil(tiles_needed / width)
+        roles: Dict[int, TileRole] = {}
+        node = 0
+        for _ in range(config.num_processors):
+            roles[node] = TileRole.PROCESSOR
+            node += 1
+        if config.kind is not SystemKind.CPU_ONLY:
+            roles[node] = TileRole.CONTROL
+            node += 1
+            for _ in range(max(0, config.num_memory_hubs - 1)):
+                roles[node] = TileRole.MEMORY
+                node += 1
+        for filler in range(node, width * height):
+            roles[filler] = TileRole.SOCKET_ONLY
+        return cls(config=config, width=width, height=height, roles=roles)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TilePlan {self.config.name} {self.width}x{self.height}>"

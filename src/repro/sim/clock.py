@@ -1,0 +1,101 @@
+"""Clock domains.
+
+Every hardware component in the model belongs to a :class:`ClockDomain` and
+performs its work on rising edges.  The Duet evaluation sweeps the eFPGA
+clock from 20 MHz to 500 MHz against a fixed 1 GHz system clock, so edge
+alignment — not just cycle counts — matters: a message that leaves the fast
+domain right after a slow-domain edge waits almost a full slow period before
+the slow side can even see it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.sim.kernel import Delay, SimulationError, Simulator
+
+_EDGE_EPSILON = 1e-9
+
+
+class ClockDomain:
+    """A periodic clock with a frequency in MHz and an optional phase offset."""
+
+    __slots__ = ("sim", "name", "_freq_mhz", "phase_ns")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        freq_mhz: float,
+        name: str = "clk",
+        phase_ns: float = 0.0,
+    ) -> None:
+        if freq_mhz <= 0:
+            raise SimulationError(f"clock frequency must be positive, got {freq_mhz}")
+        self.sim = sim
+        self.name = name
+        self._freq_mhz = float(freq_mhz)
+        self.phase_ns = phase_ns
+
+    # ------------------------------------------------------------------ #
+    # Static properties
+    # ------------------------------------------------------------------ #
+    @property
+    def freq_mhz(self) -> float:
+        return self._freq_mhz
+
+    @freq_mhz.setter
+    def freq_mhz(self, value: float) -> None:
+        """Retune the clock (used by the programmable clock generator)."""
+        if value <= 0:
+            raise SimulationError(f"clock frequency must be positive, got {value}")
+        self._freq_mhz = float(value)
+
+    @property
+    def freq_ghz(self) -> float:
+        return self._freq_mhz / 1000.0
+
+    @property
+    def period_ns(self) -> float:
+        return 1000.0 / self._freq_mhz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Duration of ``cycles`` clock cycles in nanoseconds."""
+        return cycles * self.period_ns
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Number of (fractional) cycles spanned by ``ns`` nanoseconds."""
+        return ns / self.period_ns
+
+    # ------------------------------------------------------------------ #
+    # Edge arithmetic
+    # ------------------------------------------------------------------ #
+    def next_edge(self, at: Optional[float] = None) -> float:
+        """Absolute time of the first rising edge strictly after ``at``."""
+        if at is None:
+            at = self.sim.now
+        period = self.period_ns
+        ticks = math.floor((at - self.phase_ns) / period + _EDGE_EPSILON) + 1
+        return self.phase_ns + ticks * period
+
+    def edge_after(self, at: Optional[float] = None, cycles: int = 1) -> float:
+        """Absolute time of the ``cycles``-th rising edge strictly after ``at``."""
+        if cycles < 1:
+            raise SimulationError(f"cycles must be >= 1, got {cycles}")
+        first = self.next_edge(at)
+        return first + (cycles - 1) * self.period_ns
+
+    # ------------------------------------------------------------------ #
+    # Process commands
+    # ------------------------------------------------------------------ #
+    def wait_cycles(self, cycles: int = 1) -> Delay:
+        """Command: suspend until the ``cycles``-th rising edge after now."""
+        target = self.edge_after(self.sim.now, cycles)
+        return Delay(max(0.0, target - self.sim.now))
+
+    def align(self) -> Delay:
+        """Command: suspend until the next rising edge (one-cycle alignment)."""
+        return self.wait_cycles(1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClockDomain {self.name} {self._freq_mhz:.1f}MHz>"

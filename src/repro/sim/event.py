@@ -1,0 +1,87 @@
+"""One-shot simulation events.
+
+An :class:`Event` is the rendezvous primitive of the kernel: processes wait
+on it by yielding it, and any component may trigger it exactly once with an
+optional value.  Triggering schedules the waiters at the current simulation
+time, preserving the order in which they registered.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class Event:
+    """A one-shot event carrying an optional value.
+
+    Events are created through :meth:`repro.sim.Simulator.event` so that they
+    know which simulator to schedule their callbacks on.
+    """
+
+    __slots__ = ("sim", "name", "_callbacks", "_triggered", "value")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:  # noqa: F821
+        self.sim = sim
+        self.name = name
+        self._callbacks: List[Callable[[Any], None]] = []
+        self._triggered = False
+        self.value: Any = None
+
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` has already been called."""
+        return self._triggered
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering ``value`` to every waiter.
+
+        Waiters are scheduled at the current simulation time; triggering an
+        already-triggered event is an error because events are one-shot.
+        """
+        if self._triggered:
+            raise RuntimeError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self.value = value
+        for callback in self._callbacks:
+            self.sim.schedule(0.0, callback, value)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; runs immediately if already triggered."""
+        if self._triggered:
+            self.sim.schedule(0.0, callback, self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class EventGroup:
+    """Waits for a set of events; triggers its own event when all are done."""
+
+    def __init__(self, sim: "Simulator", events: List[Event]) -> None:  # noqa: F821
+        self.done = Event(sim, name="group-done")
+        self._remaining = len(events)
+        self._values: List[Any] = [None] * len(events)
+        if self._remaining == 0:
+            self.done.succeed([])
+            return
+        for index, event in enumerate(events):
+            event.add_callback(self._make_callback(index))
+
+    def _make_callback(self, index: int) -> Callable[[Any], None]:
+        def _on_done(value: Any) -> None:
+            self._values[index] = value
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.done.succeed(list(self._values))
+
+        return _on_done
+
+
+def all_of(sim: "Simulator", events: List[Event]) -> Event:  # noqa: F821
+    """Return an event triggered when every event in ``events`` has fired."""
+    return EventGroup(sim, events).done

@@ -1,0 +1,215 @@
+"""The discrete-event simulator and its coroutine process model.
+
+Processes are plain Python generators.  They communicate with the kernel by
+yielding commands:
+
+* ``Delay(ns)`` or a plain number — suspend for that many nanoseconds.
+* an :class:`~repro.sim.event.Event` — suspend until the event fires; the
+  event's value is sent back into the generator.
+* ``None`` — yield the scheduler without advancing time (cooperative yield).
+
+Sub-behaviours compose with ``yield from``, which is how the memory system,
+the NoC and the Duet Adapter are layered without callback spaghetti.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.event import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (negative delays, exhausted run, ...)."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """A relative suspension of ``ns`` nanoseconds."""
+
+    ns: float
+
+    def __post_init__(self) -> None:
+        if self.ns < 0:
+            raise SimulationError(f"negative delay: {self.ns}")
+
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process:
+    """A running coroutine inside the simulator.
+
+    The process's return value (``return x`` inside the generator) is
+    delivered through :attr:`done`, an :class:`Event` other processes can
+    wait on.
+    """
+
+    __slots__ = ("sim", "generator", "name", "done", "_finished")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.done = Event(sim, name=f"{self.name}.done")
+        self._finished = False
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def _resume(self, value: Any) -> None:
+        if self._finished:
+            return
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self._finished = True
+            self.done.succeed(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if command is None:
+            self.sim.schedule(0.0, self._resume, None)
+        elif isinstance(command, Delay):
+            self.sim.schedule(command.ns, self._resume, None)
+        elif isinstance(command, (int, float)):
+            self.sim.schedule(float(command), self._resume, None)
+        elif isinstance(command, Event):
+            command.add_callback(self._resume)
+        elif isinstance(command, Process):
+            command.done.add_callback(self._resume)
+        else:
+            self._finished = True
+            error = SimulationError(
+                f"process {self.name!r} yielded unsupported command {command!r}"
+            )
+            self.done.succeed(error)
+            raise error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self._finished else "running"
+        return f"<Process {self.name} {state} @{self.sim.now:.2f}ns>"
+
+
+class Simulator:
+    """A time-ordered event heap with deterministic tie-breaking.
+
+    Time is measured in nanoseconds (float).  Events scheduled at the same
+    instant execute in scheduling order, which gives the point-to-point
+    ordering guarantees the NoC and the async FIFOs rely on.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Tuple[float, int, Callable[..., None], Tuple[Any, ...]]] = []
+        self._sequence = 0
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling primitives
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay_ns: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay_ns`` nanoseconds."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_ns})")
+        self.schedule_at(self.now + delay_ns, callback, *args)
+
+    def schedule_at(self, time_ns: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, (time_ns, self._sequence, callback, args))
+        self._sequence += 1
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot event bound to this simulator."""
+        return Event(self, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, ns: float) -> Delay:
+        """Convenience constructor for a :class:`Delay` command."""
+        return Delay(ns)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> float:
+        """Execute queued events.
+
+        ``until`` bounds simulated time (inclusive); ``max_events`` bounds the
+        number of callbacks executed, which protects tests against accidental
+        livelock; ``stop_when`` is checked after every callback and stops the
+        run early when it returns True (used to stop once all measured
+        programs have finished even if background hardware keeps ticking).
+        Returns the simulation time when execution stopped.
+        """
+        executed = 0
+        while self._heap:
+            time_ns, _, callback, args = self._heap[0]
+            if until is not None and time_ns > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = time_ns
+            callback(*args)
+            executed += 1
+            self.events_executed += 1
+            if stop_when is not None and stop_when():
+                return self.now
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded max_events={max_events} at t={self.now}ns"
+                )
+        if until is not None and until > self.now:
+            self.now = until
+        return self.now
+
+    def run_process(
+        self,
+        generator: ProcessGenerator,
+        name: str = "",
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> Any:
+        """Run ``generator`` to completion and return its value.
+
+        This is the main entry point used by the experiment runners: build a
+        platform, hand the workload's top-level generator to
+        :meth:`run_process`, and read off the result.
+        """
+        process = self.process(generator, name=name)
+        self.run(until=until, max_events=max_events)
+        if not process.finished:
+            raise SimulationError(
+                f"process {process.name!r} did not finish (t={self.now}ns)"
+            )
+        return process.done.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks still waiting on the heap."""
+        return len(self._heap)
+
+
+def wait_all(sim: Simulator, processes: Iterable[Process]) -> ProcessGenerator:
+    """A helper process body that waits for every process in ``processes``."""
+    results = []
+    for process in processes:
+        value = yield process.done
+        results.append(value)
+    return results

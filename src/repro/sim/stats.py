@@ -1,0 +1,131 @@
+"""Lightweight statistics collection.
+
+Components accumulate counters and latency samples into a :class:`StatSet`;
+the analysis layer reads them back to build the latency breakdowns and
+bandwidth numbers reported in the paper's figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class Histogram:
+    """Accumulates scalar samples and reports summary statistics."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` percentile (0..1) using nearest-rank."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+
+class StatSet:
+    """A named collection of counters and histograms.
+
+    Components create their stats lazily with :meth:`counter` and
+    :meth:`histogram`, so tests and experiments can introspect whatever was
+    actually exercised.
+    """
+
+    def __init__(self, name: str = "stats") -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Dict[str, int]:
+        return {name: counter.value for name, counter in self._counters.items()}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def merge(self, other: "StatSet") -> None:
+        """Fold ``other``'s counters and samples into this set."""
+        for name, counter in other._counters.items():
+            self.counter(name).increment(counter.value)
+        for name, histogram in other._histograms.items():
+            self.histogram(name).samples.extend(histogram.samples)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten to a plain dict (counters plus histogram means)."""
+        flat: Dict[str, float] = {}
+        for name, counter in self._counters.items():
+            flat[name] = counter.value
+        for name, histogram in self._histograms.items():
+            flat[f"{name}.mean"] = histogram.mean
+            flat[f"{name}.count"] = histogram.count
+        return flat
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of strictly positive values (0 for an empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))

@@ -1,0 +1,15 @@
+"""Software workloads: baselines, accelerated drivers and microbenchmarks.
+
+Each application module provides ``run(kind, params)`` returning a
+:class:`~repro.workloads.common.BenchmarkResult`, where ``kind`` selects the
+processor-only baseline, the FPSoC-like baseline or Duet — the three systems
+compared in Fig. 12.  :mod:`repro.workloads.synthetic` implements the
+latency / bandwidth / scalability microbenchmarks of Sec. V-C (Figs. 9-11).
+"""
+
+from repro.workloads.common import BenchmarkResult, WorkloadParams
+
+__all__ = [
+    "BenchmarkResult",
+    "WorkloadParams",
+]

@@ -1,0 +1,242 @@
+"""Unit tests for the eFPGA substrate: fabric, synthesis, bitstream, clocking."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fpga import (
+    AcceleratorDesign,
+    AcceleratorEnvironment,
+    Bitstream,
+    BitstreamError,
+    FabricInstance,
+    FabricSpec,
+    ProgrammableClockGenerator,
+    Scratchpad,
+    SoftAccelerator,
+    SynthesisModel,
+)
+from repro.sim import ClockDomain, Simulator
+
+
+# --------------------------------------------------------------------------- #
+# Fabric
+# --------------------------------------------------------------------------- #
+def test_fabric_capacities_scale_with_size():
+    spec = FabricSpec()
+    small = FabricInstance(spec, columns=8, rows=8)
+    large = FabricInstance(spec, columns=16, rows=16)
+    assert large.total_luts > small.total_luts
+    assert large.total_bram_kbits >= small.total_bram_kbits
+    assert large.area_mm2 > small.area_mm2
+    assert large.config_bits > small.config_bits
+
+
+def test_fabric_minimal_for_fits_requirements():
+    spec = FabricSpec()
+    fabric = FabricInstance.minimal_for(spec, clbs=200, bram_kbits=128, dsps=2)
+    assert fabric.fits(200, 128, 2)
+
+
+def test_fabric_rejects_degenerate_geometry():
+    with pytest.raises(ValueError):
+        FabricInstance(FabricSpec(), columns=0, rows=4)
+
+
+@given(
+    clbs=st.integers(min_value=1, max_value=3000),
+    bram=st.integers(min_value=0, max_value=2048),
+)
+@settings(max_examples=30, deadline=None)
+def test_fabric_minimal_for_always_fits(clbs, bram):
+    fabric = FabricInstance.minimal_for(FabricSpec(), clbs=clbs, bram_kbits=bram, dsps=0)
+    assert fabric.fits(clbs, bram, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Synthesis model
+# --------------------------------------------------------------------------- #
+def test_synthesis_produces_plausible_frequency_range():
+    model = SynthesisModel()
+    small = AcceleratorDesign(name="small", luts=300, ffs=400, logic_depth=5)
+    large = AcceleratorDesign(name="large", luts=8000, ffs=9000, logic_depth=20,
+                              routing_pressure=0.8)
+    small_result = model.implement(small)
+    large_result = model.implement(large)
+    # The paper's accelerators run at 85-282 MHz (Table II).
+    assert 50.0 < small_result.fmax_mhz < 600.0
+    assert large_result.fmax_mhz < small_result.fmax_mhz
+    assert large_result.area_mm2 > small_result.area_mm2
+
+
+def test_synthesis_utilization_bounded():
+    model = SynthesisModel()
+    design = AcceleratorDesign(name="x", luts=1000, ffs=500, bram_kbits=96, logic_depth=10)
+    result = model.implement(design)
+    assert 0.0 < result.clb_utilization <= 1.0
+    assert 0.0 <= result.bram_utilization <= 1.0
+    assert result.normalized_area(2.66) > 0.0
+
+
+def test_synthesis_rejects_design_too_big_for_given_fabric():
+    model = SynthesisModel()
+    fabric = FabricInstance(FabricSpec(), columns=4, rows=4)
+    design = AcceleratorDesign(name="big", luts=100000, ffs=100, logic_depth=10)
+    with pytest.raises(ValueError):
+        model.implement(design, fabric=fabric)
+
+
+def test_design_validation():
+    with pytest.raises(ValueError):
+        AcceleratorDesign(name="bad", luts=0, ffs=0)
+    with pytest.raises(ValueError):
+        AcceleratorDesign(name="bad", luts=10, ffs=0, routing_pressure=2.0)
+    with pytest.raises(ValueError):
+        AcceleratorDesign(name="bad", luts=10, ffs=0, logic_depth=0)
+
+
+@given(depth=st.integers(min_value=1, max_value=40))
+@settings(max_examples=20, deadline=None)
+def test_synthesis_fmax_monotone_in_logic_depth(depth):
+    model = SynthesisModel()
+    shallow = model.implement(AcceleratorDesign(name="a", luts=500, ffs=500, logic_depth=depth))
+    deeper = model.implement(AcceleratorDesign(name="b", luts=500, ffs=500, logic_depth=depth + 1))
+    assert deeper.fmax_mhz < shallow.fmax_mhz
+
+
+# --------------------------------------------------------------------------- #
+# Bitstream
+# --------------------------------------------------------------------------- #
+def test_bitstream_generation_and_verification():
+    design = AcceleratorDesign(name="acc", luts=100, ffs=100)
+    fabric = FabricInstance(FabricSpec(), columns=6, rows=6)
+    bitstream = Bitstream.generate(design, fabric)
+    assert bitstream.size_bytes == fabric.config_bits // 8
+    assert bitstream.verify()
+
+
+def test_bitstream_is_deterministic_per_design():
+    design = AcceleratorDesign(name="acc", luts=100, ffs=100)
+    fabric = FabricInstance(FabricSpec(), columns=6, rows=6)
+    a = Bitstream.generate(design, fabric)
+    b = Bitstream.generate(design, fabric)
+    assert a.data == b.data
+    other = Bitstream.generate(AcceleratorDesign(name="other", luts=100, ffs=100), fabric)
+    assert other.data != a.data
+
+
+def test_bitstream_corruption_detected():
+    design = AcceleratorDesign(name="acc", luts=100, ffs=100)
+    fabric = FabricInstance(FabricSpec(), columns=6, rows=6)
+    bitstream = Bitstream.generate(design, fabric)
+    corrupted = bitstream.corrupted(offset=17)
+    assert not corrupted.verify()
+    assert bitstream.verify()
+
+
+# --------------------------------------------------------------------------- #
+# Clock generator
+# --------------------------------------------------------------------------- #
+def test_clock_generator_divider_and_pll_modes():
+    sim = Simulator()
+    system = ClockDomain(sim, 1000.0, "sys")
+    clkgen = ProgrammableClockGenerator(sim, system, initial_mhz=100.0)
+    assert clkgen.set_divider(4) == pytest.approx(250.0)
+    assert clkgen.frequency_mhz == pytest.approx(250.0)
+    assert clkgen.set_frequency(333.0) == pytest.approx(333.0)
+    assert clkgen.ratio_to_system == pytest.approx(0.333)
+
+
+def test_clock_generator_respects_fmax():
+    sim = Simulator()
+    system = ClockDomain(sim, 1000.0, "sys")
+    clkgen = ProgrammableClockGenerator(sim, system, initial_mhz=400.0)
+    clkgen.set_max_frequency(200.0)
+    assert clkgen.frequency_mhz == pytest.approx(200.0)
+    assert clkgen.set_frequency(500.0) == pytest.approx(200.0)
+    with pytest.raises(ValueError):
+        clkgen.set_divider(2)  # 500 MHz > Fmax
+
+
+def test_clock_generator_rejects_bad_inputs():
+    sim = Simulator()
+    system = ClockDomain(sim, 1000.0, "sys")
+    clkgen = ProgrammableClockGenerator(sim, system)
+    with pytest.raises(ValueError):
+        clkgen.set_frequency(0.0)
+    with pytest.raises(ValueError):
+        clkgen.set_divider(0)
+
+
+# --------------------------------------------------------------------------- #
+# Scratchpad
+# --------------------------------------------------------------------------- #
+def test_scratchpad_read_write_and_timing():
+    sim = Simulator()
+    domain = ClockDomain(sim, 100.0, "fpga")
+    scratchpad = Scratchpad(domain, size_bytes=1024)
+
+    def body():
+        start = sim.now
+        yield from scratchpad.write_burst(0, [1, 2, 3, 4])
+        values = yield from scratchpad.read_burst(0, 4)
+        return values, sim.now - start
+
+    values, elapsed = sim.run_process(body())
+    assert values == [1, 2, 3, 4]
+    # Eight accesses at one per 10 ns FPGA cycle.
+    assert elapsed >= 8 * domain.period_ns - 1e-6
+
+
+def test_scratchpad_bounds_checked():
+    sim = Simulator()
+    domain = ClockDomain(sim, 100.0, "fpga")
+    scratchpad = Scratchpad(domain, size_bytes=64, word_bytes=8)
+    with pytest.raises(IndexError):
+        scratchpad.peek(8)
+    scratchpad.poke(7, 99)
+    assert scratchpad.peek(7) == 99
+
+
+# --------------------------------------------------------------------------- #
+# SoftAccelerator lifecycle
+# --------------------------------------------------------------------------- #
+class _CounterAccelerator(SoftAccelerator):
+    DESIGN = AcceleratorDesign(name="counter", luts=50, ffs=60, mem_ports=0)
+
+    def behavior(self):
+        total = 0
+        for _ in range(10):
+            yield self.cycles(1)
+            total += 1
+        return total
+
+
+def test_accelerator_requires_attach_before_start():
+    accelerator = _CounterAccelerator()
+    with pytest.raises(RuntimeError):
+        accelerator.start()
+
+
+def test_accelerator_runs_in_fpga_domain():
+    sim = Simulator()
+    domain = ClockDomain(sim, 100.0, "fpga")
+    accelerator = _CounterAccelerator()
+    accelerator.attach(AcceleratorEnvironment(sim=sim, domain=domain))
+    process = accelerator.start()
+    sim.run()
+    assert process.done.value == 10
+    assert sim.now >= 10 * domain.period_ns - 1e-6
+
+
+def test_accelerator_mem_port_requirement_enforced():
+    class NeedsPorts(SoftAccelerator):
+        DESIGN = AcceleratorDesign(name="needs", luts=10, ffs=10, mem_ports=2)
+
+        def behavior(self):
+            yield self.cycles(1)
+
+    sim = Simulator()
+    domain = ClockDomain(sim, 100.0, "fpga")
+    accelerator = NeedsPorts()
+    with pytest.raises(ValueError):
+        accelerator.attach(AcceleratorEnvironment(sim=sim, domain=domain, mem_ports=[]))

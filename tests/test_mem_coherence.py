@@ -1,0 +1,286 @@
+"""Integration tests for the directory-MESI protocol across the NoC."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import CoherenceState, DirectoryState
+from tests.conftest import build_mini_system
+
+
+def run(system, *generators):
+    """Run each generator as a process and return their results in order."""
+    processes = [system.sim.process(gen, name=f"test-proc-{i}") for i, gen in enumerate(generators)]
+    system.sim.run(max_events=2_000_000)
+    for process in processes:
+        assert process.finished, "test process did not finish"
+    return [process.done.value for process in processes]
+
+
+# --------------------------------------------------------------------------- #
+# Single-agent behaviour
+# --------------------------------------------------------------------------- #
+def test_load_miss_installs_exclusive(mini_system):
+    agent = mini_system.agents[0]
+
+    def body():
+        value = yield from agent.load(0x1000)
+        return value
+
+    [value] = run(mini_system, body())
+    assert value == 0
+    assert agent.state_of(0x1000) is CoherenceState.EXCLUSIVE
+    home = mini_system.address_map.home_tile(0x1000)
+    entry = mini_system.directories[home].entry(mini_system.address_map.line_of(0x1000))
+    assert entry.state is DirectoryState.EXCLUSIVE
+    assert entry.owner == (agent.node, agent.target)
+
+
+def test_store_miss_installs_modified_and_value_visible(mini_system):
+    agent = mini_system.agents[0]
+
+    def writer():
+        yield from agent.store(0x2000, 77)
+        value = yield from agent.load(0x2000)
+        return value
+
+    [value] = run(mini_system, writer())
+    assert value == 77
+    assert agent.state_of(0x2000) is CoherenceState.MODIFIED
+
+
+def test_second_load_hits_in_private_cache(mini_system):
+    agent = mini_system.agents[0]
+    times = {}
+
+    def body():
+        start = mini_system.sim.now
+        yield from agent.load(0x3000)
+        times["miss"] = mini_system.sim.now - start
+        start = mini_system.sim.now
+        yield from agent.load(0x3000)
+        times["hit"] = mini_system.sim.now - start
+
+    run(mini_system, body())
+    assert times["hit"] < times["miss"]
+    assert agent.stats.counter("l1_hits").value >= 1
+
+
+def test_load_latency_includes_noc_and_llc(mini_system):
+    """A cold miss takes roughly NoC + LLC + DRAM time, not just a cycle."""
+    agent = mini_system.agents[0]
+
+    def body():
+        start = mini_system.sim.now
+        yield from agent.load(0x4000)
+        return mini_system.sim.now - start
+
+    [latency] = run(mini_system, body())
+    assert latency > mini_system.config.dram_latency_ns
+
+
+# --------------------------------------------------------------------------- #
+# Two-agent coherence
+# --------------------------------------------------------------------------- #
+def test_store_then_remote_load_transfers_data(mini_system):
+    writer, reader = mini_system.agents
+
+    def write_body():
+        yield from writer.store(0x5000, 123)
+
+    def read_body():
+        # Wait for the writer to finish, then read.
+        yield mini_system.sim.timeout(500.0)
+        value = yield from reader.load(0x5000)
+        return value
+
+    _, value = run(mini_system, write_body(), read_body())
+    assert value == 123
+    # After the forward, both caches hold the line in SHARED state.
+    assert writer.state_of(0x5000) is CoherenceState.SHARED
+    assert reader.state_of(0x5000) is CoherenceState.SHARED
+    home = mini_system.address_map.home_tile(0x5000)
+    entry = mini_system.directories[home].entry(mini_system.address_map.line_of(0x5000))
+    assert entry.state is DirectoryState.SHARED
+    assert len(entry.sharers) == 2
+
+
+def test_remote_store_invalidates_sharer(mini_system):
+    a, b = mini_system.agents
+
+    def body_a():
+        yield from a.load(0x6000)
+        yield mini_system.sim.timeout(1500.0)
+        return a.state_of(0x6000)
+
+    def body_b():
+        # Load first so the line becomes SHARED between both agents, then
+        # upgrade to MODIFIED, which must invalidate the other sharer.
+        yield mini_system.sim.timeout(300.0)
+        yield from b.load(0x6000)
+        yield from b.store(0x6000, 9)
+        return b.state_of(0x6000)
+
+    state_a, state_b = run(mini_system, body_a(), body_b())
+    assert state_a is CoherenceState.INVALID
+    assert state_b is CoherenceState.MODIFIED
+    assert a.stats.counter("invalidations").value == 1
+
+
+def test_ownership_transfer_on_write_after_write(mini_system):
+    a, b = mini_system.agents
+
+    def body_a():
+        yield from a.store(0x7000, 1)
+
+    def body_b():
+        yield mini_system.sim.timeout(400.0)
+        yield from b.store(0x7000, 2)
+
+    run(mini_system, body_a(), body_b())
+    assert a.state_of(0x7000) is CoherenceState.INVALID
+    assert b.state_of(0x7000) is CoherenceState.MODIFIED
+    assert mini_system.memory.read_word(0x7000) == 2
+    home = mini_system.address_map.home_tile(0x7000)
+    entry = mini_system.directories[home].entry(mini_system.address_map.line_of(0x7000))
+    assert entry.owner == (b.node, b.target)
+
+
+def test_read_write_ping_pong_preserves_values(mini_system):
+    """Alternating writers see each other's latest values."""
+    a, b = mini_system.agents
+    addr = 0x8000
+
+    def body_a():
+        observed = []
+        for i in range(5):
+            yield from a.store(addr, 10 + i)
+            yield mini_system.sim.timeout(600.0)
+            observed.append((yield from a.load(addr)))
+        return observed
+
+    def body_b():
+        observed = []
+        for i in range(5):
+            yield mini_system.sim.timeout(300.0)
+            observed.append((yield from b.load(addr)))
+            yield from b.store(addr, 100 + i)
+            yield mini_system.sim.timeout(300.0)
+        return observed
+
+    results_a, results_b = run(mini_system, body_a(), body_b())
+    assert results_b == [10, 11, 12, 13, 14]
+    assert results_a == [100, 101, 102, 103, 104]
+
+
+def test_amo_is_atomic_under_contention():
+    """Concurrent atomic increments never lose updates."""
+    system = build_mini_system(width=2, height=2, num_agents=4)
+    addr = 0x9000
+    increments_per_agent = 20
+
+    def body(agent):
+        for _ in range(increments_per_agent):
+            yield from agent.amo(addr, lambda v: v + 1)
+
+    processes = [system.sim.process(body(agent)) for agent in system.agents]
+    system.sim.run(max_events=5_000_000)
+    assert all(process.finished for process in processes)
+    assert system.memory.read_word(addr) == 4 * increments_per_agent
+
+
+def test_eviction_writes_back_and_line_can_be_reloaded():
+    """Filling a set past its associativity evicts and writes back dirty lines."""
+    config_system = build_mini_system()
+    agent = config_system.agents[0]
+    config = config_system.config
+    # Addresses that all map to the same L2 set.
+    set_stride = config.l2_size_bytes // config.l2_assoc
+    addresses = [0x10000 + i * set_stride for i in range(config.l2_assoc + 2)]
+
+    def body():
+        for i, addr in enumerate(addresses):
+            yield from agent.store(addr, i)
+        # Reload the first (evicted) address; value must survive the writeback.
+        value = yield from agent.load(addresses[0])
+        return value
+
+    [value] = run(config_system, body())
+    assert value == 0
+    assert agent.stats.counter("evictions").value >= 1
+
+
+def test_mshr_limit_allows_many_outstanding_lines():
+    system = build_mini_system()
+    agent = system.agents[0]
+
+    def body():
+        for i in range(32):
+            yield from agent.load(0x20000 + i * 16)
+
+    run(system, body())
+    assert agent.stats.counter("load_misses").value == 32
+
+
+def test_store_larger_than_port_rejected(mini_system):
+    agent = mini_system.agents[0]
+
+    def body():
+        yield from agent.store(0x100, 0, size_bytes=16)
+
+    mini_system.sim.process(body())
+    with pytest.raises(ValueError):
+        mini_system.sim.run()
+
+
+# --------------------------------------------------------------------------- #
+# Property test: protocol keeps single-writer / multi-reader invariant
+# --------------------------------------------------------------------------- #
+@settings(max_examples=15, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),   # agent index
+            st.sampled_from(["load", "store"]),
+            st.integers(min_value=0, max_value=7),   # line index
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_coherence_invariants_random_traffic(operations):
+    system = build_mini_system(width=2, height=2, num_agents=4)
+    base = 0x40000
+
+    def body(agent, ops):
+        for kind, line_index in ops:
+            addr = base + line_index * system.config.line_bytes
+            if kind == "load":
+                yield from agent.load(addr)
+            else:
+                yield from agent.store(addr, agent.node)
+
+    per_agent = {i: [] for i in range(4)}
+    for agent_index, kind, line_index in operations:
+        per_agent[agent_index].append((kind, line_index))
+    processes = [
+        system.sim.process(body(system.agents[i], ops)) for i, ops in per_agent.items() if ops
+    ]
+    system.sim.run(max_events=5_000_000)
+    assert all(process.finished for process in processes)
+
+    # Invariant: for every line, at most one agent holds it writable, and if
+    # someone does, nobody else holds it at all.
+    for line_index in range(8):
+        line = base + line_index * system.config.line_bytes
+        states = [agent.state_of(line) for agent in system.agents]
+        writers = [s for s in states if s.can_write]
+        readers = [s for s in states if s is not CoherenceState.INVALID]
+        assert len(writers) <= 1
+        if writers:
+            assert len(readers) == 1
+        # Directory owner matches the holder when exclusively owned.
+        home = system.address_map.home_tile(line)
+        entry = system.directories[home].entry(line)
+        if entry.state is DirectoryState.EXCLUSIVE:
+            owner_index = entry.owner[0]
+            assert states[owner_index].can_write or states[owner_index] is CoherenceState.EXCLUSIVE

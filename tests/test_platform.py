@@ -1,0 +1,118 @@
+"""Unit and integration tests for system composition and the area model."""
+
+import pytest
+
+from repro.platform import (
+    AreaModel,
+    DollyConfig,
+    SystemKind,
+    TilePlan,
+    TileRole,
+    build_system,
+)
+from repro.platform.area import linear_scale_area, linear_scale_frequency
+
+
+def test_config_naming_matches_paper_convention():
+    assert DollyConfig.dolly(2, 2).name == "Dolly-P2M2"
+    assert DollyConfig.fpsoc(1, 1).name == "FPSoC-P1M1"
+    assert DollyConfig.cpu_only(4).name == "CPU-P4"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DollyConfig(num_processors=0)
+    with pytest.raises(ValueError):
+        DollyConfig(num_processors=1, num_memory_hubs=1, kind=SystemKind.CPU_ONLY)
+
+
+def test_tile_plan_roles_cover_p_c_and_m_tiles():
+    plan = TilePlan.plan(DollyConfig.dolly(2, 2))
+    assert len(plan.processor_tiles) == 2
+    assert isinstance(plan.control_tile, int)
+    assert len(plan.memory_tiles) == 1  # C-tile hosts the first Memory Hub
+    assert plan.width * plan.height >= 4
+
+
+def test_tile_plan_cpu_only_has_no_control_tile():
+    plan = TilePlan.plan(DollyConfig.cpu_only(4))
+    assert len(plan.processor_tiles) == 4
+    with pytest.raises(LookupError):
+        plan.control_tile
+
+
+def test_build_system_dolly_p2m2_matches_fig8():
+    system = build_system(DollyConfig.dolly(2, 2, fpga_mhz=100.0))
+    assert len(system.cores) == 2
+    assert system.adapter is not None
+    assert system.adapter.num_memory_hubs == 2
+    assert len(system.directories) == system.plan.width * system.plan.height
+
+
+def test_build_system_cpu_only_has_no_adapter():
+    system = build_system(DollyConfig.cpu_only(2))
+    assert system.adapter is None
+    assert system.fpga_domain is None
+
+
+def test_warm_cache_preloads_lines():
+    system = build_system(DollyConfig.cpu_only(1))
+    base = system.memory.allocate(256)
+    system.warm_cache(0, base, 256)
+
+    def program(ctx):
+        start = ctx.now
+        for offset in range(0, 256, 16):
+            yield from ctx.load(base + offset)
+        return ctx.now - start
+
+    elapsed, _ = system.run_single(program)
+    # All warm hits: a couple of cycles per access, no DRAM latency anywhere.
+    assert elapsed < 16 * 10
+
+
+def test_run_programs_reports_elapsed_and_results():
+    system = build_system(DollyConfig.cpu_only(2))
+
+    def program(ctx, amount):
+        yield from ctx.compute(amount)
+        return amount
+
+    results, elapsed = system.run_programs([(0, program, (100,)), (1, program, (300,))])
+    assert results == [100, 300]
+    assert elapsed >= 300.0
+
+
+# --------------------------------------------------------------------------- #
+# Area model
+# --------------------------------------------------------------------------- #
+def test_table1_constants_exposed():
+    model = AreaModel()
+    assert model.ariane_mm2 == pytest.approx(1.56)
+    assert model.pmesh_socket_mm2 == pytest.approx(1.10)
+    assert model.control_hub_mm2 == pytest.approx(0.21)
+    assert model.coherent_mem_intf_mm2 == pytest.approx(0.04)
+    assert model.reference_block_mm2 == pytest.approx(2.66)
+
+
+def test_area_accounting_orders_systems_correctly():
+    model = AreaModel()
+    cpu = model.processor_only_area(4)
+    fpsoc = model.fpsoc_area(4, efpga_mm2=3.0)
+    duet = model.duet_area(4, 1, efpga_mm2=3.0)
+    assert cpu < fpsoc < duet
+    # The Duet Adapter adds little on top of the FPSoC (Sec. V-B).
+    assert duet - fpsoc < model.reference_block_mm2
+
+
+def test_adp_normalization():
+    model = AreaModel()
+    assert model.normalized_adp(10.0, 100.0, 10.0, 100.0) == pytest.approx(1.0)
+    assert model.normalized_adp(20.0, 50.0, 10.0, 100.0) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        model.normalized_adp(1.0, 1.0, 0.0, 1.0)
+
+
+def test_linear_scaling_model():
+    assert linear_scale_area(1.0, 22.0, 44.0) == pytest.approx(4.0)
+    assert linear_scale_frequency(1000.0, 22.0, 44.0) == pytest.approx(500.0)

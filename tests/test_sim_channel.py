@@ -1,0 +1,231 @@
+"""Unit and property tests for Channel and the clock-domain-crossing AsyncFifo."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import AsyncFifo, Channel, ClockDomain, Delay, QueueFullError, Simulator
+
+
+# --------------------------------------------------------------------------- #
+# Channel
+# --------------------------------------------------------------------------- #
+def test_channel_fifo_order():
+    sim = Simulator()
+    channel = Channel(sim)
+
+    def producer():
+        for i in range(5):
+            yield from channel.put(i)
+            yield Delay(1.0)
+
+    def consumer():
+        received = []
+        for _ in range(5):
+            item = yield from channel.get()
+            received.append(item)
+        return received
+
+    sim.process(producer())
+    consumer_proc = sim.process(consumer())
+    sim.run()
+    assert consumer_proc.done.value == [0, 1, 2, 3, 4]
+
+
+def test_channel_capacity_blocks_producer():
+    sim = Simulator()
+    channel = Channel(sim, capacity=2)
+    produced_times = []
+
+    def producer():
+        for i in range(4):
+            yield from channel.put(i)
+            produced_times.append(sim.now)
+
+    def consumer():
+        for _ in range(4):
+            yield Delay(10.0)
+            yield from channel.get()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    # The first two puts complete immediately; later puts wait for space.
+    assert produced_times[0] == produced_times[1] == 0.0
+    assert produced_times[2] >= 10.0
+    assert produced_times[3] >= 20.0
+
+
+def test_channel_try_put_full_raises():
+    sim = Simulator()
+    channel = Channel(sim, capacity=1)
+    channel.try_put("a")
+    with pytest.raises(QueueFullError):
+        channel.try_put("b")
+
+
+def test_channel_latency_delays_delivery():
+    sim = Simulator()
+    channel = Channel(sim, latency_ns=5.0)
+    channel.try_put("x")
+
+    def consumer():
+        item = yield from channel.get()
+        return sim.now, item
+
+    when, item = sim.run_process(consumer())
+    assert item == "x"
+    assert when == pytest.approx(5.0)
+
+
+# --------------------------------------------------------------------------- #
+# AsyncFifo
+# --------------------------------------------------------------------------- #
+def _make_domains(sim, fast_mhz=1000.0, slow_mhz=100.0):
+    return ClockDomain(sim, fast_mhz, "fast"), ClockDomain(sim, slow_mhz, "slow")
+
+
+def test_async_fifo_crossing_latency_into_slow_domain():
+    """Fast->slow crossing costs roughly sync_stages slow cycles."""
+    sim = Simulator()
+    fast, slow = _make_domains(sim)
+    fifo = AsyncFifo(sim, fast, slow, sync_stages=2)
+
+    def producer():
+        yield from fifo.put("msg")
+        return sim.now
+
+    def consumer():
+        item = yield from fifo.get()
+        return sim.now, item
+
+    producer_proc = sim.process(producer())
+    consumer_proc = sim.process(consumer())
+    sim.run()
+    push_time = producer_proc.done.value
+    pop_time, item = consumer_proc.done.value
+    assert item == "msg"
+    # Pushed on the first fast edge (1 ns); visible on the 2nd slow edge
+    # after that (20 ns).
+    assert push_time == pytest.approx(1.0)
+    assert pop_time == pytest.approx(20.0)
+
+
+def test_async_fifo_crossing_latency_into_fast_domain():
+    """Slow->fast crossing costs only a couple of fast cycles after the push."""
+    sim = Simulator()
+    fast, slow = _make_domains(sim)
+    fifo = AsyncFifo(sim, slow, fast, sync_stages=2)
+
+    def producer():
+        yield from fifo.put("msg")
+        return sim.now
+
+    def consumer():
+        yield from fifo.get()
+        return sim.now
+
+    producer_proc = sim.process(producer())
+    consumer_proc = sim.process(consumer())
+    sim.run()
+    push_time = producer_proc.done.value
+    pop_time = consumer_proc.done.value
+    assert push_time == pytest.approx(10.0)  # first slow edge
+    assert pop_time == pytest.approx(12.0)  # two fast edges later
+
+
+def test_async_fifo_preserves_order():
+    sim = Simulator()
+    fast, slow = _make_domains(sim)
+    fifo = AsyncFifo(sim, fast, slow, capacity=16)
+
+    def producer():
+        for i in range(10):
+            yield from fifo.put(i)
+
+    def consumer():
+        out = []
+        for _ in range(10):
+            out.append((yield from fifo.get()))
+        return out
+
+    sim.process(producer())
+    consumer_proc = sim.process(consumer())
+    sim.run()
+    assert consumer_proc.done.value == list(range(10))
+
+
+def test_async_fifo_backpressure_when_full():
+    sim = Simulator()
+    fast, slow = _make_domains(sim)
+    fifo = AsyncFifo(sim, fast, slow, capacity=2)
+    push_times = []
+
+    def producer():
+        for i in range(4):
+            yield from fifo.put(i)
+            push_times.append(sim.now)
+
+    def consumer():
+        for _ in range(4):
+            yield from fifo.get()
+            yield slow.wait_cycles(5)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert len(push_times) == 4
+    # The third and fourth pushes must wait for pops in the slow domain.
+    assert push_times[2] > push_times[1]
+    assert push_times[3] > push_times[2]
+
+
+def test_async_fifo_try_put_respects_capacity():
+    sim = Simulator()
+    fast, slow = _make_domains(sim)
+    fifo = AsyncFifo(sim, fast, slow, capacity=1)
+    assert fifo.try_put("a") is True
+    assert fifo.try_put("b") is False
+
+
+def test_async_fifo_rejects_bad_configuration():
+    sim = Simulator()
+    fast, slow = _make_domains(sim)
+    with pytest.raises(Exception):
+        AsyncFifo(sim, fast, slow, capacity=0)
+    with pytest.raises(Exception):
+        AsyncFifo(sim, fast, slow, sync_stages=0)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    push_mhz=st.sampled_from([20.0, 100.0, 500.0, 1000.0]),
+    pop_mhz=st.sampled_from([20.0, 100.0, 500.0, 1000.0]),
+    count=st.integers(min_value=1, max_value=20),
+    sync_stages=st.integers(min_value=1, max_value=4),
+)
+def test_async_fifo_property_order_and_latency(push_mhz, pop_mhz, count, sync_stages):
+    """All items arrive, in order, and never earlier than the CDC latency."""
+    sim = Simulator()
+    push = ClockDomain(sim, push_mhz, "push")
+    pop = ClockDomain(sim, pop_mhz, "pop")
+    fifo = AsyncFifo(sim, push, pop, capacity=4, sync_stages=sync_stages)
+    arrivals = []
+
+    def producer():
+        for i in range(count):
+            yield from fifo.put(i)
+
+    def consumer():
+        for _ in range(count):
+            item = yield from fifo.get()
+            arrivals.append((sim.now, item))
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert [item for _, item in arrivals] == list(range(count))
+    # Each arrival is on/after a pop edge that is at least sync_stages pop
+    # cycles after simulation start (the earliest possible commit).
+    min_latency = pop.edge_after(push.next_edge(0.0), sync_stages)
+    assert arrivals[0][0] >= min_latency - 1e-9
+    assert all(arrivals[i][0] <= arrivals[i + 1][0] for i in range(len(arrivals) - 1))

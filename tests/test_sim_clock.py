@@ -1,0 +1,103 @@
+"""Unit tests for clock domains and edge arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import ClockDomain, SimulationError, Simulator
+
+
+def test_period_from_frequency():
+    sim = Simulator()
+    clk = ClockDomain(sim, 1000.0, "sys")
+    assert clk.period_ns == pytest.approx(1.0)
+    slow = ClockDomain(sim, 100.0, "fpga")
+    assert slow.period_ns == pytest.approx(10.0)
+
+
+def test_next_edge_is_strictly_after():
+    sim = Simulator()
+    clk = ClockDomain(sim, 1000.0)
+    assert clk.next_edge(0.0) == pytest.approx(1.0)
+    assert clk.next_edge(0.5) == pytest.approx(1.0)
+    assert clk.next_edge(1.0) == pytest.approx(2.0)
+
+
+def test_edge_after_multiple_cycles():
+    sim = Simulator()
+    clk = ClockDomain(sim, 500.0)  # 2 ns period
+    assert clk.edge_after(0.0, 1) == pytest.approx(2.0)
+    assert clk.edge_after(0.0, 3) == pytest.approx(6.0)
+    with pytest.raises(SimulationError):
+        clk.edge_after(0.0, 0)
+
+
+def test_phase_offset_shifts_edges():
+    sim = Simulator()
+    clk = ClockDomain(sim, 100.0, phase_ns=3.0)
+    assert clk.next_edge(0.0) == pytest.approx(3.0)
+    assert clk.next_edge(3.0) == pytest.approx(13.0)
+
+
+def test_wait_cycles_aligns_process_to_edges():
+    sim = Simulator()
+    clk = ClockDomain(sim, 100.0)  # 10 ns period
+
+    def body():
+        yield 3.0  # now at 3 ns, mid-cycle
+        yield clk.wait_cycles(1)
+        first_edge = sim.now
+        yield clk.wait_cycles(2)
+        return first_edge, sim.now
+
+    first_edge, second = sim.run_process(body())
+    assert first_edge == pytest.approx(10.0)
+    assert second == pytest.approx(30.0)
+
+
+def test_invalid_frequency_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        ClockDomain(sim, 0.0)
+    clk = ClockDomain(sim, 100.0)
+    with pytest.raises(SimulationError):
+        clk.freq_mhz = -5.0
+
+
+def test_retuning_frequency_changes_period():
+    sim = Simulator()
+    clk = ClockDomain(sim, 100.0)
+    clk.freq_mhz = 200.0
+    assert clk.period_ns == pytest.approx(5.0)
+
+
+def test_cycle_ns_roundtrip():
+    sim = Simulator()
+    clk = ClockDomain(sim, 250.0)
+    assert clk.ns_to_cycles(clk.cycles_to_ns(17)) == pytest.approx(17)
+
+
+@given(
+    freq=st.floats(min_value=1.0, max_value=4000.0),
+    at=st.floats(min_value=0.0, max_value=1e6),
+)
+def test_next_edge_properties(freq, at):
+    """The next edge is strictly after `at` and within one period of it."""
+    sim = Simulator()
+    clk = ClockDomain(sim, freq)
+    edge = clk.next_edge(at)
+    assert edge > at
+    assert edge - at <= clk.period_ns * (1 + 1e-6)
+
+
+@given(
+    freq=st.sampled_from([20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]),
+    at=st.floats(min_value=0.0, max_value=1e5),
+    cycles=st.integers(min_value=1, max_value=16),
+)
+def test_edge_after_spacing(freq, at, cycles):
+    """Consecutive edges are exactly one period apart."""
+    sim = Simulator()
+    clk = ClockDomain(sim, freq)
+    assert clk.edge_after(at, cycles + 1) - clk.edge_after(at, cycles) == pytest.approx(
+        clk.period_ns
+    )

@@ -1,0 +1,89 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Counter, Histogram, StatSet
+from repro.sim.stats import geometric_mean
+
+
+def test_counter_increment_and_reset():
+    counter = Counter("hits")
+    counter.increment()
+    counter.increment(4)
+    assert counter.value == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_histogram_summary_statistics():
+    histogram = Histogram("latency")
+    for value in [1.0, 2.0, 3.0, 4.0]:
+        histogram.record(value)
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx(2.5)
+    assert histogram.minimum == 1.0
+    assert histogram.maximum == 4.0
+    assert histogram.total == pytest.approx(10.0)
+
+
+def test_histogram_percentile_nearest_rank():
+    histogram = Histogram("latency")
+    for value in range(1, 101):
+        histogram.record(float(value))
+    assert histogram.percentile(0.5) == 50.0
+    assert histogram.percentile(0.99) == 99.0
+    assert histogram.percentile(1.0) == 100.0
+
+
+def test_empty_histogram_is_safe():
+    histogram = Histogram("empty")
+    assert histogram.mean == 0.0
+    assert histogram.percentile(0.5) == 0.0
+
+
+def test_statset_lazily_creates_and_flattens():
+    stats = StatSet("cache")
+    stats.counter("hits").increment(3)
+    stats.histogram("latency").record(7.0)
+    flat = stats.as_dict()
+    assert flat["hits"] == 3
+    assert flat["latency.mean"] == pytest.approx(7.0)
+    assert flat["latency.count"] == 1
+
+
+def test_statset_merge_accumulates():
+    a = StatSet("a")
+    b = StatSet("b")
+    a.counter("hits").increment(2)
+    b.counter("hits").increment(5)
+    b.histogram("latency").record(1.0)
+    a.merge(b)
+    assert a.counter("hits").value == 7
+    assert a.histogram("latency").count == 1
+
+
+def test_statset_reset_clears_everything():
+    stats = StatSet()
+    stats.counter("x").increment(9)
+    stats.histogram("y").record(1.0)
+    stats.reset()
+    assert stats.counter("x").value == 0
+    assert stats.histogram("y").count == 0
+
+
+def test_geometric_mean_known_values():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+
+
+def test_geometric_mean_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+@given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+def test_geometric_mean_between_min_and_max(values):
+    mean = geometric_mean(values)
+    assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
