@@ -2,26 +2,24 @@
 
 from conftest import FULL
 
-from repro.analysis import format_table, run_fig10
+from repro.api import Runner
 
 
 def test_fig10_communication_bandwidth(benchmark):
     frequencies = (20.0, 50.0, 100.0, 200.0, 500.0) if FULL else (100.0, 500.0)
     quad_words = 512 if FULL else 64
-    rows = benchmark.pedantic(
-        run_fig10,
-        kwargs={"frequencies": frequencies, "quad_words": quad_words},
-        rounds=1,
-        iterations=1,
+    results = benchmark.pedantic(
+        Runner().run, args=("fig10",),
+        kwargs={"fpga_mhz": frequencies, "quad_words": quad_words},
+        rounds=1, iterations=1,
     )
     print()
-    print(format_table(
-        ["Mechanism", "eFPGA MHz", "Measured MB/s", "Paper peak MB/s"],
-        [[r["mechanism"], r["fpga_mhz"], r["measured_mbytes_per_s"],
-          r["paper_peak_mbytes_per_s"]] for r in rows],
+    print(results.to_table(
+        columns=["mechanism", "fpga_mhz", "measured_mbytes_per_s", "paper_peak_mbytes_per_s"],
+        headers=["Mechanism", "eFPGA MHz", "Measured MB/s", "Paper peak MB/s"],
         title=f"Fig. 10 — Processor-eFPGA Bandwidth ({quad_words} quad-words)",
     ))
-    by_key = {(r["mechanism"], r["fpga_mhz"]): r["measured_mbytes_per_s"] for r in rows}
+    by_key = {(r.mechanism, r.fpga_mhz): r.measured_mbytes_per_s for r in results}
     top = max(frequencies)
     # Shape checks mirroring the paper:
     # 1. The Proxy Cache delivers the highest bandwidth of all mechanisms.

@@ -2,27 +2,25 @@
 
 from conftest import FULL
 
-from repro.analysis import format_table, run_fig11
+from repro.api import Runner, get_experiment
 
 
 def test_fig11_register_scalability(benchmark):
     processor_counts = (1, 2, 4, 8, 16) if FULL else (1, 2, 4)
     accesses = 64 if FULL else 16
-    rows = benchmark.pedantic(
-        run_fig11,
-        kwargs={"processor_counts": processor_counts, "accesses_per_processor": accesses},
-        rounds=1,
-        iterations=1,
+    results = benchmark.pedantic(
+        Runner().run, args=("fig11",),
+        kwargs={"num_processors": processor_counts, "accesses_per_processor": accesses},
+        rounds=1, iterations=1,
     )
     print()
-    print(format_table(
-        ["Mechanism", "Op", "Processors", "Per-CPU MB/s"],
-        [[r["mechanism"], r["operation"], r["num_processors"],
-          r["per_processor_mbytes_per_s"]] for r in rows],
-        title="Fig. 11 — Per-Processor Register Bandwidth vs Contending Processors",
+    print(results.to_table(
+        columns=["mechanism", "operation", "num_processors", "per_processor_mbytes_per_s"],
+        headers=["Mechanism", "Op", "Processors", "Per-CPU MB/s"],
+        title=get_experiment("fig11").title,
     ))
-    by_key = {(r["mechanism"], r["operation"], r["num_processors"]):
-              r["per_processor_mbytes_per_s"] for r in rows}
+    by_key = {(r.mechanism, r.operation, r.num_processors):
+              r.per_processor_mbytes_per_s for r in results}
     # Shape checks mirroring the paper: shadow registers sustain much higher
     # per-processor bandwidth than normal registers at every processor count,
     # and they degrade more gracefully as contention grows.

@@ -2,7 +2,8 @@
 
 from conftest import FULL
 
-from repro.analysis import APPLICATION_CONFIGS, format_table, run_fig12
+from repro.analysis import APPLICATION_CONFIGS
+from repro.api import Runner, get_experiment
 
 #: The reduced sweep skips the largest-core-count configurations to keep the
 #: default benchmark run quick; DUET_BENCH_FULL=1 runs all thirteen.
@@ -13,20 +14,22 @@ QUICK_LABELS = (
 
 
 def test_fig12_application_speedup_and_adp(benchmark):
-    configs = APPLICATION_CONFIGS if FULL else [
-        config for config in APPLICATION_CONFIGS if config.label in QUICK_LABELS
-    ]
-    summary = benchmark.pedantic(run_fig12, kwargs={"configs": configs},
+    labels = tuple(
+        config.label for config in APPLICATION_CONFIGS
+        if FULL or config.label in QUICK_LABELS
+    )
+    results = benchmark.pedantic(Runner().run, args=("fig12",),
+                                 kwargs={"benchmark": labels},
                                  rounds=1, iterations=1)
-    rows = summary["rows"]
+    summary = results.summary
     print()
-    print(format_table(
-        ["Benchmark", "CPU runtime (ns)", "FPSoC speedup", "Duet speedup",
-         "Paper FPSoC", "Paper Duet", "FPSoC norm ADP", "Duet norm ADP", "Correct"],
-        [[r["benchmark"], r["cpu_runtime_ns"], r["fpsoc_speedup"], r["duet_speedup"],
-          r["paper_fpsoc_speedup"], r["paper_duet_speedup"],
-          r["fpsoc_norm_adp"], r["duet_norm_adp"], r["all_correct"]] for r in rows],
-        title="Fig. 12 — Normalized Speedup and ADP of Application Benchmarks",
+    print(results.to_table(
+        columns=["benchmark", "cpu_runtime_ns", "fpsoc_speedup", "duet_speedup",
+                 "paper_fpsoc_speedup", "paper_duet_speedup",
+                 "fpsoc_norm_adp", "duet_norm_adp", "all_correct"],
+        headers=["Benchmark", "CPU runtime (ns)", "FPSoC speedup", "Duet speedup",
+                 "Paper FPSoC", "Paper Duet", "FPSoC norm ADP", "Duet norm ADP", "Correct"],
+        title=get_experiment("fig12").title,
     ))
     print(
         f"geomean speedup: Duet {summary['duet_geomean_speedup']:.2f}x "
@@ -45,8 +48,8 @@ def test_fig12_application_speedup_and_adp(benchmark):
     # Duet outperforms the FPSoC baseline on every benchmark, and
     # Duet's geometric-mean speedup over the processor-only baseline
     # exceeds the FPSoC's.
-    assert all(r["all_correct"] for r in rows)
-    for r in rows:
-        assert r["duet_speedup"] > r["fpsoc_speedup"], r["benchmark"]
+    assert all(r.all_correct for r in results)
+    for r in results:
+        assert r.duet_speedup > r.fpsoc_speedup, r.benchmark
     assert summary["duet_geomean_speedup"] > 1.0
     assert summary["duet_geomean_speedup"] > summary["fpsoc_geomean_speedup"]

@@ -2,21 +2,21 @@
 
 from conftest import FULL
 
-from repro.analysis import format_table, run_fig9
+from repro.api import Runner, get_experiment
 
 
 def test_fig9_communication_latency(benchmark):
     frequencies = (100.0, 200.0, 500.0) if FULL else (100.0, 500.0)
-    rows = benchmark.pedantic(run_fig9, kwargs={"frequencies": frequencies},
-                              rounds=1, iterations=1)
+    results = benchmark.pedantic(Runner().run, args=("fig9",),
+                                 kwargs={"fpga_mhz": frequencies},
+                                 rounds=1, iterations=1)
     print()
-    print(format_table(
-        ["Mechanism", "eFPGA MHz", "Measured roundtrip (ns)", "Paper roundtrip (ns)"],
-        [[r["mechanism"], r["fpga_mhz"], r["measured_roundtrip_ns"],
-          r["paper_roundtrip_ns"]] for r in rows],
-        title="Fig. 9 — CPU-eFPGA Communication Latency (single transaction)",
+    print(results.to_table(
+        columns=["mechanism", "fpga_mhz", "measured_roundtrip_ns", "paper_roundtrip_ns"],
+        headers=["Mechanism", "eFPGA MHz", "Measured roundtrip (ns)", "Paper roundtrip (ns)"],
+        title=get_experiment("fig9").title,
     ))
-    by_key = {(r["mechanism"], r["fpga_mhz"]): r["measured_roundtrip_ns"] for r in rows}
+    by_key = {(r.mechanism, r.fpga_mhz): r.measured_roundtrip_ns for r in results}
     lowest, highest = min(frequencies), max(frequencies)
     # Shape checks mirroring the paper's claims:
     # 1. Shadow registers beat normal soft registers at every frequency.

@@ -1,19 +1,20 @@
 """Table I: area and typical frequency of Dolly's hard components."""
 
-from repro.analysis import format_table, run_table1
+from repro.api import Runner, get_experiment
 
 
 def test_table1_area(benchmark):
-    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    results = benchmark.pedantic(Runner().run, args=("table1",),
+                                 rounds=1, iterations=1)
     print()
-    print(format_table(
-        ["Component", "Technology", "Area (mm2)", "Freq (MHz)",
-         "Scaled Area (mm2)", "Scaled Freq (MHz)"],
-        [[r["component"], r["technology"], r["area_mm2"], r["freq_mhz"],
-          r["scaled_area_mm2"], r["scaled_freq_mhz"]] for r in rows],
-        title="Table I — Area and Typical Frequency of Dolly Components",
+    print(results.to_table(
+        columns=["component", "technology", "area_mm2", "freq_mhz",
+                 "scaled_area_mm2", "scaled_freq_mhz"],
+        headers=["Component", "Technology", "Area (mm2)", "Freq (MHz)",
+                 "Scaled Area (mm2)", "Scaled Freq (MHz)"],
+        title=get_experiment("table1").title,
     ))
     # The Duet Adapter's hard logic is small relative to one core + socket
     # (the Sec. V-B "negligible hardware overhead" claim).
-    adapter_row = rows[-1]
-    assert adapter_row["area_mm2"] < 1.56 + 1.10
+    adapter_row = results[-1]
+    assert adapter_row.area_mm2 < 1.56 + 1.10

@@ -1,29 +1,30 @@
 """Table II: clock frequency and area of the soft accelerators."""
 
-from repro.analysis import format_table, run_table2
+from repro.api import Runner, get_experiment
 
 
 def test_table2_soft_accelerators(benchmark):
-    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    results = benchmark.pedantic(Runner().run, args=("table2",),
+                                 rounds=1, iterations=1)
     print()
-    print(format_table(
-        ["Benchmark", "Fmax (MHz)", "Paper Fmax", "Norm. Area", "Paper Area",
-         "CLB util", "Paper CLB", "BRAM util", "Paper BRAM"],
-        [[r["benchmark"], r["measured_fmax_mhz"], r["paper_fmax_mhz"],
-          r["measured_norm_area"], r["paper_norm_area"],
-          r["measured_clb_util"], r["paper_clb_util"],
-          r["measured_bram_util"], r["paper_bram_util"]] for r in rows],
-        title="Table II — Clock Frequency and Area of Soft Accelerators",
+    print(results.to_table(
+        columns=["benchmark", "measured_fmax_mhz", "paper_fmax_mhz",
+                 "measured_norm_area", "paper_norm_area",
+                 "measured_clb_util", "paper_clb_util",
+                 "measured_bram_util", "paper_bram_util"],
+        headers=["Benchmark", "Fmax (MHz)", "Paper Fmax", "Norm. Area", "Paper Area",
+                 "CLB util", "Paper CLB", "BRAM util", "Paper BRAM"],
+        title=get_experiment("table2").title,
     ))
-    by_name = {r["benchmark"]: r for r in rows}
+    by_name = {r.benchmark: r for r in results}
     # Shape checks against the paper: every accelerator lands in the
     # "8%-28% of the 1 GHz processor clock" range the paper reports, the
     # sorting networks grow with size, and Barnes-Hut is the largest design.
-    for row in rows:
-        assert 50.0 <= row["measured_fmax_mhz"] <= 500.0
-    assert (by_name["sort32"]["measured_norm_area"]
-            < by_name["sort64"]["measured_norm_area"]
-            < by_name["sort128"]["measured_norm_area"])
-    assert by_name["barnes-hut"]["measured_norm_area"] == max(
-        r["measured_norm_area"] for r in rows
+    for row in results:
+        assert 50.0 <= row.measured_fmax_mhz <= 500.0
+    assert (by_name["sort32"].measured_norm_area
+            < by_name["sort64"].measured_norm_area
+            < by_name["sort128"].measured_norm_area)
+    assert by_name["barnes-hut"].measured_norm_area == max(
+        r.measured_norm_area for r in results
     )

@@ -7,37 +7,34 @@ latency of all six CPU–eFPGA communication mechanisms (Fig. 9) and the
 bandwidth of the register-based mechanisms (Fig. 10), printing a comparison
 of Duet's Proxy Cache / Shadow Registers against the FPSoC-style slow cache
 and normal soft registers.
+
+The same sweeps are available from the command line::
+
+    python -m repro run fig9 -p fpga_mhz=100,500
+    python -m repro sweep fig10 -p mechanism=shadow_reg,normal_reg \
+        -p quad_words=64 --pivot mechanism fpga_mhz measured_mbytes_per_s
 """
 
 import sys
 
-from repro.analysis import format_table
-from repro.workloads.synthetic import (
-    LATENCY_MECHANISMS,
-    measure_bandwidth,
-    measure_latency,
-)
+from repro.api import Runner
 
 
 def main():
     frequencies = [float(arg) for arg in sys.argv[1:]] or [100.0, 500.0]
-    latency_rows = []
-    for mechanism in LATENCY_MECHANISMS:
-        for freq in frequencies:
-            result = measure_latency(mechanism, freq)
-            latency_rows.append([mechanism, freq, result.roundtrip_ns])
-    print(format_table(
-        ["Mechanism", "eFPGA MHz", "Round trip (ns)"], latency_rows,
+    runner = Runner()
+    latency = runner.run("fig9", fpga_mhz=frequencies)
+    print(latency.to_table(
+        columns=["mechanism", "fpga_mhz", "measured_roundtrip_ns"],
+        headers=["Mechanism", "eFPGA MHz", "Round trip (ns)"],
         title="CPU-eFPGA round-trip latency (single transaction)",
     ))
     print()
-    bandwidth_rows = []
-    for mechanism in ("shadow_reg", "normal_reg"):
-        for freq in frequencies:
-            result = measure_bandwidth(mechanism, freq, quad_words=64)
-            bandwidth_rows.append([mechanism, freq, result.mbytes_per_s])
-    print(format_table(
-        ["Mechanism", "eFPGA MHz", "Bandwidth (MB/s)"], bandwidth_rows,
+    bandwidth = runner.run("fig10", mechanism=("shadow_reg", "normal_reg"),
+                           fpga_mhz=frequencies, quad_words=64)
+    print(bandwidth.to_table(
+        columns=["mechanism", "fpga_mhz", "measured_mbytes_per_s"],
+        headers=["Mechanism", "eFPGA MHz", "Bandwidth (MB/s)"],
         title="Register bandwidth, 64 quad-words",
     ))
 

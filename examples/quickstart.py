@@ -2,6 +2,10 @@
 
 Run with:  python examples/quickstart.py
 
+(For the paper's full evaluation, the experiment registry is one command
+away: ``python -m repro list`` enumerates every table/figure experiment and
+``python -m repro run fig9`` reproduces one — see README.md.)
+
 The example builds the smallest interesting Duet system — one Ariane-like
 core plus one Duet Adapter with a single Memory Hub — programs a tiny
 "echo + add" accelerator onto the eFPGA, and shows the two sides

@@ -1,9 +1,20 @@
-"""Experiment runners: one function per table / figure of the evaluation.
+"""Legacy experiment runners plus the paper's reference numbers.
 
-Each runner returns plain data structures (lists of dicts) so the benchmark
-harness, the tests and EXPERIMENTS.md generation can all share them.  Paper
-numbers are included where the paper states them, so every report shows
-paper-vs-measured side by side.
+The actual measurement logic now lives in the experiment registry
+(:mod:`repro.api.registry`), where every table/figure is a named,
+discoverable :class:`~repro.api.spec.ExperimentSpec` — enumerate them with
+``python -m repro list`` and run them with :class:`repro.api.runner.Runner`
+(optionally in parallel and with on-disk JSON caching under
+``<cache_dir>/<experiment>/<key>.json``).
+
+This module keeps two things:
+
+* the paper-reported constants (``TABLE2_PAPER``, ``FIG9_PAPER``, ...) and
+  the thirteen Fig. 12 :class:`ApplicationConfig` entries, which the
+  registry wraps;
+* thin backward-compatible shims — ``run_table1`` .. ``run_fig12`` — with
+  the original signatures and return shapes (lists of dicts; a summary dict
+  for Fig. 12), implemented on top of the new API.
 """
 
 from __future__ import annotations
@@ -11,57 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.accel.barnes_hut import BarnesHutForceAccelerator
-from repro.accel.dijkstra import DijkstraRelaxAccelerator
-from repro.accel.lockfree_queue import FrontierQueueAccelerator
-from repro.accel.pdes_scheduler import PdesSchedulerAccelerator
-from repro.accel.popcount import PopcountAccelerator
-from repro.accel.sortnet import SortingNetworkAccelerator
-from repro.accel.tangent import TangentAccelerator
-from repro.fpga.synthesis import SynthesisModel
-from repro.platform.area import TABLE1_ROWS, AreaModel
-from repro.platform.config import SystemKind
-from repro.sim.stats import geometric_mean
+from repro.platform.config import SystemKind  # noqa: F401  (re-exported for callers)
 from repro.workloads import barnes_hut, bfs, dijkstra, pdes, popcount, sort, tangent
 from repro.workloads.common import BenchmarkResult, WorkloadParams
-from repro.workloads.synthetic import (
-    BANDWIDTH_MECHANISMS,
-    LATENCY_MECHANISMS,
-    measure_bandwidth,
-    measure_latency,
-    measure_register_scalability,
-)
+from repro.workloads.synthetic import BANDWIDTH_MECHANISMS, LATENCY_MECHANISMS
 
 
 # --------------------------------------------------------------------------- #
-# Table I
-# --------------------------------------------------------------------------- #
-def run_table1() -> List[Dict[str, object]]:
-    """Area and typical frequency of Dolly's hard components."""
-    model = AreaModel()
-    rows = []
-    for row in TABLE1_ROWS:
-        rows.append({
-            "component": row.component,
-            "technology": row.technology,
-            "area_mm2": row.area_mm2,
-            "freq_mhz": row.freq_mhz,
-            "scaled_area_mm2": row.scaled_area_mm2,
-            "scaled_freq_mhz": row.scaled_freq_mhz,
-        })
-    rows.append({
-        "component": "Duet Adapter overhead vs 1 core (P1M1)",
-        "technology": "derived",
-        "area_mm2": model.adapter_area(1),
-        "freq_mhz": 0.0,
-        "scaled_area_mm2": model.adapter_area(1),
-        "scaled_freq_mhz": 0.0,
-    })
-    return rows
-
-
-# --------------------------------------------------------------------------- #
-# Table II
+# Paper-reported reference numbers
 # --------------------------------------------------------------------------- #
 #: Paper-reported (max MHz, normalized area, CLB util, BRAM util) per accelerator.
 TABLE2_PAPER = {
@@ -76,46 +44,6 @@ TABLE2_PAPER = {
     "pdes": (126.0, 2.77, 0.47, 0.56),
 }
 
-
-def _table2_accelerators():
-    return [
-        TangentAccelerator(),
-        PopcountAccelerator(),
-        SortingNetworkAccelerator(32),
-        SortingNetworkAccelerator(64),
-        SortingNetworkAccelerator(128),
-        DijkstraRelaxAccelerator(),
-        BarnesHutForceAccelerator(),
-        FrontierQueueAccelerator(),
-        PdesSchedulerAccelerator(),
-    ]
-
-
-def run_table2() -> List[Dict[str, object]]:
-    """Clock frequency, area and utilization of the soft accelerators."""
-    model = SynthesisModel()
-    area_model = AreaModel()
-    rows = []
-    for accelerator in _table2_accelerators():
-        result = model.implement(accelerator.design)
-        paper = TABLE2_PAPER.get(accelerator.design.name, (None, None, None, None))
-        rows.append({
-            "benchmark": accelerator.design.name,
-            "measured_fmax_mhz": result.fmax_mhz,
-            "paper_fmax_mhz": paper[0],
-            "measured_norm_area": result.normalized_area(area_model.reference_block_mm2),
-            "paper_norm_area": paper[1],
-            "measured_clb_util": result.clb_utilization,
-            "paper_clb_util": paper[2],
-            "measured_bram_util": result.bram_utilization,
-            "paper_bram_util": paper[3],
-        })
-    return rows
-
-
-# --------------------------------------------------------------------------- #
-# Fig. 9: latency
-# --------------------------------------------------------------------------- #
 #: Paper round-trip latencies (ns) per mechanism at {100, 200, 500} MHz,
 #: read off Fig. 9 (sum of the stacked components).
 FIG9_PAPER = {
@@ -127,25 +55,6 @@ FIG9_PAPER = {
     "efpga_pull_slow": {100: 271, 200: 162, 500: 121},
 }
 
-
-def run_fig9(frequencies: Sequence[float] = (100.0, 200.0, 500.0),
-             mechanisms: Sequence[str] = LATENCY_MECHANISMS) -> List[Dict[str, object]]:
-    rows = []
-    for mechanism in mechanisms:
-        for freq in frequencies:
-            result = measure_latency(mechanism, freq)
-            rows.append({
-                "mechanism": mechanism,
-                "fpga_mhz": freq,
-                "measured_roundtrip_ns": result.roundtrip_ns,
-                "paper_roundtrip_ns": FIG9_PAPER.get(mechanism, {}).get(int(freq)),
-            })
-    return rows
-
-
-# --------------------------------------------------------------------------- #
-# Fig. 10: bandwidth
-# --------------------------------------------------------------------------- #
 #: Paper peak bandwidths (MB/s) quoted in Sec. V-C.
 FIG10_PAPER_PEAKS = {
     "efpga_pull_proxy": 558.0,
@@ -157,49 +66,8 @@ FIG10_PAPER_PEAKS = {
 }
 
 
-def run_fig10(frequencies: Sequence[float] = (20.0, 50.0, 100.0, 200.0, 500.0),
-              mechanisms: Sequence[str] = BANDWIDTH_MECHANISMS,
-              quad_words: int = 128) -> List[Dict[str, object]]:
-    """Bandwidth sweep.  ``quad_words`` defaults to 128 (vs the paper's 512)
-    to keep pure-Python simulation time reasonable; pass 512 for the full
-    experiment."""
-    rows = []
-    for mechanism in mechanisms:
-        for freq in frequencies:
-            result = measure_bandwidth(mechanism, freq, quad_words=quad_words)
-            rows.append({
-                "mechanism": mechanism,
-                "fpga_mhz": freq,
-                "measured_mbytes_per_s": result.mbytes_per_s,
-                "paper_peak_mbytes_per_s": FIG10_PAPER_PEAKS.get(mechanism),
-            })
-    return rows
-
-
 # --------------------------------------------------------------------------- #
-# Fig. 11: register scalability
-# --------------------------------------------------------------------------- #
-def run_fig11(processor_counts: Sequence[int] = (1, 2, 4, 8, 16),
-              accesses_per_processor: int = 32) -> List[Dict[str, object]]:
-    rows = []
-    for mechanism in ("normal_reg", "shadow_reg"):
-        for operation in ("write", "read"):
-            for count in processor_counts:
-                result = measure_register_scalability(
-                    mechanism, operation, count,
-                    accesses_per_processor=accesses_per_processor,
-                )
-                rows.append({
-                    "mechanism": mechanism,
-                    "operation": operation,
-                    "num_processors": count,
-                    "per_processor_mbytes_per_s": result.per_processor_mbytes_per_s,
-                })
-    return rows
-
-
-# --------------------------------------------------------------------------- #
-# Fig. 12: application benchmarks
+# Fig. 12 application configurations
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class ApplicationConfig:
@@ -213,8 +81,9 @@ class ApplicationConfig:
     paper_duet_speedup: Optional[float]
     paper_fpsoc_speedup: Optional[float]
 
-    def params(self) -> WorkloadParams:
-        return WorkloadParams(num_processors=self.processors, num_memory_hubs=self.memory_hubs)
+    def params(self, seed: int = 2023) -> WorkloadParams:
+        return WorkloadParams(num_processors=self.processors,
+                              num_memory_hubs=self.memory_hubs, seed=seed)
 
 
 #: The thirteen configurations of Fig. 12 with the paper's speedups where the
@@ -240,44 +109,63 @@ FIG12_PAPER_GEOMEAN = {"duet": 4.53, "fpsoc": 2.14}
 FIG12_PAPER_ADP_GEOMEAN = {"duet": 0.61, "fpsoc": 1.23}
 
 
+# --------------------------------------------------------------------------- #
+# Backward-compatible runners (thin shims over repro.api)
+# --------------------------------------------------------------------------- #
+def _run_serial(experiment: str, **overrides) -> "repro.api.results.ResultSet":  # noqa: F821
+    # Imported lazily: repro.api.registry imports this module for the
+    # constants above, so a top-level import would be circular.
+    from repro.api.runner import Runner
+
+    return Runner().run(experiment, **overrides)
+
+
+def run_table1() -> List[Dict[str, object]]:
+    """Area and typical frequency of Dolly's hard components."""
+    return _run_serial("table1").to_dicts()
+
+
+def run_table2() -> List[Dict[str, object]]:
+    """Clock frequency, area and utilization of the soft accelerators."""
+    return _run_serial("table2").to_dicts()
+
+
+def run_fig9(frequencies: Sequence[float] = (100.0, 200.0, 500.0),
+             mechanisms: Sequence[str] = LATENCY_MECHANISMS) -> List[Dict[str, object]]:
+    return _run_serial("fig9", mechanism=tuple(mechanisms),
+                       fpga_mhz=tuple(frequencies)).to_dicts()
+
+
+def run_fig10(frequencies: Sequence[float] = (20.0, 50.0, 100.0, 200.0, 500.0),
+              mechanisms: Sequence[str] = BANDWIDTH_MECHANISMS,
+              quad_words: int = 128) -> List[Dict[str, object]]:
+    """Bandwidth sweep.  ``quad_words`` defaults to 128 (vs the paper's 512)
+    to keep pure-Python simulation time reasonable; pass 512 for the full
+    experiment."""
+    return _run_serial("fig10", mechanism=tuple(mechanisms),
+                       fpga_mhz=tuple(frequencies),
+                       quad_words=quad_words).to_dicts()
+
+
+def run_fig11(processor_counts: Sequence[int] = (1, 2, 4, 8, 16),
+              accesses_per_processor: int = 32) -> List[Dict[str, object]]:
+    return _run_serial("fig11", num_processors=tuple(processor_counts),
+                       accesses_per_processor=accesses_per_processor).to_dicts()
+
+
 def run_fig12(configs: Optional[Sequence[ApplicationConfig]] = None) -> Dict[str, object]:
     """Run every benchmark on the three systems; returns rows plus geomeans."""
+    from repro.api.registry import _APP_BY_LABEL, fig12_row, fig12_summary
+
     configs = list(configs) if configs is not None else APPLICATION_CONFIGS
-    rows: List[Dict[str, object]] = []
-    duet_speedups: List[float] = []
-    fpsoc_speedups: List[float] = []
-    duet_adps: List[float] = []
-    fpsoc_adps: List[float] = []
-    for config in configs:
-        baseline = config.runner(SystemKind.CPU_ONLY, config.params(), **config.kwargs)
-        fpsoc_result = config.runner(SystemKind.FPSOC, config.params(), **config.kwargs)
-        duet_result = config.runner(SystemKind.DUET, config.params(), **config.kwargs)
-        duet_speedup = duet_result.speedup_over(baseline)
-        fpsoc_speedup = fpsoc_result.speedup_over(baseline)
-        duet_adp = duet_result.normalized_adp(baseline)
-        fpsoc_adp = fpsoc_result.normalized_adp(baseline)
-        duet_speedups.append(duet_speedup)
-        fpsoc_speedups.append(fpsoc_speedup)
-        duet_adps.append(duet_adp)
-        fpsoc_adps.append(fpsoc_adp)
-        rows.append({
-            "benchmark": config.label,
-            "cpu_runtime_ns": baseline.runtime_ns,
-            "fpsoc_speedup": fpsoc_speedup,
-            "duet_speedup": duet_speedup,
-            "paper_fpsoc_speedup": config.paper_fpsoc_speedup,
-            "paper_duet_speedup": config.paper_duet_speedup,
-            "fpsoc_norm_adp": fpsoc_adp,
-            "duet_norm_adp": duet_adp,
-            "all_correct": baseline.correct and fpsoc_result.correct and duet_result.correct,
-        })
-    summary = {
-        "rows": rows,
-        "duet_geomean_speedup": geometric_mean([s for s in duet_speedups if s > 0]),
-        "fpsoc_geomean_speedup": geometric_mean([s for s in fpsoc_speedups if s > 0]),
-        "duet_geomean_adp": geometric_mean([a for a in duet_adps if a > 0]),
-        "fpsoc_geomean_adp": geometric_mean([a for a in fpsoc_adps if a > 0]),
-        "paper_geomean_speedup": FIG12_PAPER_GEOMEAN,
-        "paper_geomean_adp": FIG12_PAPER_ADP_GEOMEAN,
-    }
+    if all(_APP_BY_LABEL.get(config.label) is config for config in configs):
+        results = _run_serial("fig12", benchmark=tuple(c.label for c in configs))
+        rows = results.to_dicts()
+        summary_stats = dict(results.summary)
+    else:
+        # Ad-hoc configs (not in the registry) run through the same cell logic.
+        rows = [fig12_row(config) for config in configs]
+        summary_stats = fig12_summary(rows)
+    summary: Dict[str, object] = {"rows": rows}
+    summary.update(summary_stats)
     return summary

@@ -1,4 +1,8 @@
-"""Plain-text reporting helpers used by the benchmark harness and examples."""
+"""Plain-text reporting helpers used by the benchmark harness and examples.
+
+:func:`format_table` is also what :meth:`repro.api.results.ResultSet.to_table`
+renders through, so every experiment in the registry shares one table style.
+"""
 
 from __future__ import annotations
 
@@ -7,17 +11,26 @@ from typing import Iterable, List, Sequence
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
                  title: str = "") -> str:
-    """Render a simple aligned text table (monospace, benchmark-log friendly)."""
+    """Render a simple aligned text table (monospace, benchmark-log friendly).
+
+    Ragged input is tolerated: rows shorter than ``headers`` are padded with
+    empty cells, and rows longer than ``headers`` extend the table with
+    unnamed columns instead of raising.
+    """
+    headers = [str(header) for header in headers]
     rendered_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
-    widths = [len(str(header)) for header in headers]
+    num_columns = max([len(headers)] + [len(row) for row in rendered_rows], default=0)
+    headers = headers + [""] * (num_columns - len(headers))
+    rendered_rows = [row + [""] * (num_columns - len(row)) for row in rendered_rows]
+    widths = [len(header) for header in headers]
     for row in rendered_rows:
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
     lines = []
     if title:
         lines.append(title)
-    lines.append("  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(num_columns)))
     for row in rendered_rows:
         lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)

@@ -1,0 +1,206 @@
+"""``python -m repro`` — the experiment command line.
+
+Subcommands:
+
+* ``list``   — show every registered experiment (name, cells, tags, title);
+* ``run``    — run one experiment and print a table (or ``--json``/``--csv``);
+* ``report`` — run and print the measured table plus the paper-vs-measured
+  deviation report;
+* ``sweep``  — run with overridden parameter axes and optionally pivot the
+  result into a wide table (``--pivot index columns values``).
+
+Parameters are passed as repeated ``-p name=value`` flags; comma-separated
+values sweep an axis (``-p fpga_mhz=100,200,500``).  ``--cache DIR`` enables
+on-disk result caching, ``--executor process --workers N`` fans cells out
+across processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.api.registry import get_experiment, list_experiments
+from repro.api.results import ResultSet
+from repro.api.runner import EXECUTORS, Runner
+
+
+def _parse_scalar(text: str) -> Any:
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _parse_value(text: str) -> Any:
+    if "," in text:
+        return [_parse_scalar(part) for part in text.split(",") if part != ""]
+    return _parse_scalar(text)
+
+
+def parse_params(items: Optional[Sequence[str]]) -> Dict[str, Any]:
+    """Parse repeated ``-p name=value`` flags into an overrides mapping."""
+    params: Dict[str, Any] = {}
+    for item in items or ():
+        name, separator, value = item.partition("=")
+        if not separator or not name or not value:
+            raise SystemExit(f"error: bad parameter {item!r}; expected name=value")
+        params[name] = _parse_value(value)
+    return params
+
+
+def _make_runner(args: argparse.Namespace) -> Runner:
+    return Runner(executor=args.executor, workers=args.workers,
+                  cache_dir=args.cache, seed=args.seed)
+
+
+def _run(args: argparse.Namespace) -> ResultSet:
+    runner = _make_runner(args)
+    overrides = parse_params(args.param)
+    return runner.run(args.experiment, use_cache=not args.no_cache, **overrides)
+
+
+def _emit(results: ResultSet, args: argparse.Namespace) -> None:
+    if args.out:
+        if args.out.endswith(".csv") or args.csv:
+            results.to_csv(args.out)
+        else:
+            results.to_json(args.out)
+        print(f"wrote {len(results)} rows to {args.out}", file=sys.stderr)
+        return
+    if args.json:
+        print(results.to_json())
+    elif args.csv:
+        print(results.to_csv(), end="")
+    else:
+        spec = get_experiment(results.experiment)
+        print(results.to_table(title=spec.title or results.experiment))
+        for key, value in results.summary.items():
+            print(f"{key}: {value}")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def cmd_list(args: argparse.Namespace) -> int:
+    specs = list_experiments(tag=args.tag)
+    if args.json:
+        print(json.dumps([spec.describe() for spec in specs], indent=2))
+        return 0
+    print(format_table(
+        ["Experiment", "Cells", "Tags", "Title"],
+        [[spec.name, spec.num_cells(), ",".join(spec.tags), spec.title]
+         for spec in specs],
+        title="Registered experiments",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    results = _run(args)
+    _emit(results, args)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    results = _run(args)
+    spec = get_experiment(results.experiment)
+    print(results.to_table(title=spec.title or results.experiment))
+    for key, value in results.summary.items():
+        print(f"{key}: {value}")
+    deviations = results.deviations()
+    if deviations:
+        print()
+        print(results.deviation_table())
+    else:
+        print("\n(no paper_* columns to compare against)")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    results = _run(args)
+    if args.pivot:
+        index, columns, values = args.pivot
+        headers, rows = results.pivot(index, columns, values)
+        print(format_table(headers, rows,
+                           title=f"{results.experiment}: {values} by {index} x {columns}"))
+    else:
+        _emit(results, args)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the Duet reproduction's experiments (tables and figures).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_list = subparsers.add_parser("list", help="list registered experiments")
+    p_list.add_argument("--tag", help="only experiments carrying this tag")
+    p_list.add_argument("--json", action="store_true", help="machine-readable output")
+    p_list.set_defaults(func=cmd_list)
+
+    run_options = argparse.ArgumentParser(add_help=False)
+    run_options.add_argument("experiment", help="experiment name (see `repro list`)")
+    run_options.add_argument("-p", "--param", action="append", metavar="NAME=VALUE",
+                             help="override a grid axis or fixed parameter; "
+                                  "comma-separate values to sweep an axis")
+    run_options.add_argument("--executor", choices=EXECUTORS, default="serial")
+    run_options.add_argument("--workers", type=int, default=None,
+                             help="process-pool size (with --executor process)")
+    run_options.add_argument("--cache", metavar="DIR", default=None,
+                             help="enable on-disk JSON result caching in DIR")
+    run_options.add_argument("--no-cache", action="store_true",
+                             help="ignore cached results even when --cache is set")
+    run_options.add_argument("--seed", type=int, default=None,
+                             help="override the experiment seed")
+    output_format = run_options.add_mutually_exclusive_group()
+    output_format.add_argument("--json", action="store_true", help="emit JSON")
+    output_format.add_argument("--csv", action="store_true", help="emit CSV")
+    run_options.add_argument("--out", metavar="FILE",
+                             help="write results to FILE (.csv for CSV, else JSON)")
+
+    p_run = subparsers.add_parser("run", parents=[run_options],
+                                  help="run one experiment")
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = subparsers.add_parser("report", parents=[run_options],
+                                     help="run and compare against the paper's numbers")
+    p_report.set_defaults(func=cmd_report)
+
+    p_sweep = subparsers.add_parser("sweep", parents=[run_options],
+                                    help="run a parameter sweep (optionally pivoted)")
+    p_sweep.add_argument("--pivot", nargs=3, metavar=("INDEX", "COLUMNS", "VALUES"),
+                         help="pivot the rows into a wide table")
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into e.g. `head`; not an error.  Detach stdout so the
+        # interpreter shutdown doesn't complain about the closed pipe.
+        sys.stdout = open(os.devnull, "w")  # noqa: SIM115
+        return 0
+    except KeyError as error:
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

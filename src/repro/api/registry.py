@@ -1,0 +1,348 @@
+"""The global experiment registry.
+
+Importing this module registers every experiment of the paper's evaluation:
+
+* the six paper experiments — ``table1``, ``table2``, ``fig9``, ``fig10``,
+  ``fig11`` and ``fig12`` — whose cells produce rows identical to the legacy
+  ``repro.analysis.experiments.run_*`` functions;
+* one ``app/<name>`` experiment per Fig. 12 application configuration
+  (``app/tangent`` .. ``app/bfs/16``) sweeping the three system kinds
+  (processor-only, FPSoC, Duet).
+
+Cell functions are module-level so :class:`repro.api.runner.Runner` can ship
+them to a ``ProcessPoolExecutor``.  Use :func:`register_experiment` either
+with a ready :class:`~repro.api.spec.ExperimentSpec` or as a decorator::
+
+    @register_experiment(name="my-sweep", grid={"x": (1, 2, 3)})
+    def my_cell(x):
+        return [{"x": x, "y": x * x}]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.accel.barnes_hut import BarnesHutForceAccelerator
+from repro.accel.dijkstra import DijkstraRelaxAccelerator
+from repro.accel.lockfree_queue import FrontierQueueAccelerator
+from repro.accel.pdes_scheduler import PdesSchedulerAccelerator
+from repro.accel.popcount import PopcountAccelerator
+from repro.accel.sortnet import SortingNetworkAccelerator
+from repro.accel.tangent import TangentAccelerator
+from repro.analysis.experiments import (
+    APPLICATION_CONFIGS,
+    FIG9_PAPER,
+    FIG10_PAPER_PEAKS,
+    FIG12_PAPER_ADP_GEOMEAN,
+    FIG12_PAPER_GEOMEAN,
+    TABLE2_PAPER,
+    ApplicationConfig,
+)
+from repro.api.spec import ExperimentSpec, Rows
+from repro.fpga.synthesis import SynthesisModel
+from repro.platform.area import TABLE1_ROWS, AreaModel
+from repro.platform.config import SystemKind
+from repro.sim.stats import geometric_mean
+from repro.workloads.common import WorkloadParams
+from repro.workloads.synthetic import (
+    BANDWIDTH_MECHANISMS,
+    DEFAULT_SEED,
+    LATENCY_MECHANISMS,
+    measure_bandwidth,
+    measure_latency,
+    measure_register_scalability,
+)
+
+REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: Optional[ExperimentSpec] = None, **kwargs: Any):
+    """Register an experiment; usable directly or as a decorator.
+
+    ``register_experiment(spec)`` registers a ready spec and returns it.
+    ``@register_experiment(name=..., grid=...)`` wraps a cell function; the
+    function itself is returned unchanged (so it stays a plain, picklable
+    module-level callable).
+    """
+    if spec is not None:
+        if kwargs:
+            raise TypeError("pass either a spec or keyword arguments, not both")
+        _add(spec)
+        return spec
+
+    def decorate(cell: Callable[..., Rows]) -> Callable[..., Rows]:
+        name = kwargs.pop("name", cell.__name__)
+        _add(ExperimentSpec(name=name, cell=cell, **kwargs))
+        return cell
+
+    return decorate
+
+
+def _add(spec: ExperimentSpec) -> None:
+    if spec.name in REGISTRY:
+        raise ValueError(f"experiment {spec.name!r} is already registered")
+    REGISTRY[spec.name] = spec
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown experiment {name!r}; known experiments: {known}") from None
+
+
+def list_experiments(tag: Optional[str] = None) -> List[ExperimentSpec]:
+    """All registered experiments, in registration order."""
+    specs = list(REGISTRY.values())
+    if tag is not None:
+        specs = [spec for spec in specs if tag in spec.tags]
+    return specs
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    name="table1",
+    title="Table I — Area and Typical Frequency of Dolly Components",
+    description="Area and typical frequency of Dolly's hard components.",
+    tags=("paper", "table"),
+)
+def table1_cell() -> Rows:
+    model = AreaModel()
+    rows = []
+    for row in TABLE1_ROWS:
+        rows.append({
+            "component": row.component,
+            "technology": row.technology,
+            "area_mm2": row.area_mm2,
+            "freq_mhz": row.freq_mhz,
+            "scaled_area_mm2": row.scaled_area_mm2,
+            "scaled_freq_mhz": row.scaled_freq_mhz,
+        })
+    rows.append({
+        "component": "Duet Adapter overhead vs 1 core (P1M1)",
+        "technology": "derived",
+        "area_mm2": model.adapter_area(1),
+        "freq_mhz": 0.0,
+        "scaled_area_mm2": model.adapter_area(1),
+        "scaled_freq_mhz": 0.0,
+    })
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Table II
+# --------------------------------------------------------------------------- #
+TABLE2_FACTORIES: Dict[str, Callable[[], Any]] = {
+    "tangent": TangentAccelerator,
+    "popcount": PopcountAccelerator,
+    "sort32": lambda: SortingNetworkAccelerator(32),
+    "sort64": lambda: SortingNetworkAccelerator(64),
+    "sort128": lambda: SortingNetworkAccelerator(128),
+    "dijkstra": DijkstraRelaxAccelerator,
+    "barnes-hut": BarnesHutForceAccelerator,
+    "bfs": FrontierQueueAccelerator,
+    "pdes": PdesSchedulerAccelerator,
+}
+
+
+@register_experiment(
+    name="table2",
+    title="Table II — Clock Frequency and Area of Soft Accelerators",
+    description="Post-route clock frequency, area and utilization of the soft accelerators.",
+    grid={"benchmark": tuple(TABLE2_FACTORIES)},
+    tags=("paper", "table"),
+)
+def table2_cell(benchmark: str) -> Rows:
+    accelerator = TABLE2_FACTORIES[benchmark]()
+    result = SynthesisModel().implement(accelerator.design)
+    area_model = AreaModel()
+    paper = TABLE2_PAPER.get(accelerator.design.name, (None, None, None, None))
+    return [{
+        "benchmark": accelerator.design.name,
+        "measured_fmax_mhz": result.fmax_mhz,
+        "paper_fmax_mhz": paper[0],
+        "measured_norm_area": result.normalized_area(area_model.reference_block_mm2),
+        "paper_norm_area": paper[1],
+        "measured_clb_util": result.clb_utilization,
+        "paper_clb_util": paper[2],
+        "measured_bram_util": result.bram_utilization,
+        "paper_bram_util": paper[3],
+    }]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 9: latency
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    name="fig9",
+    title="Fig. 9 — CPU-eFPGA Communication Latency (single transaction)",
+    description="Round-trip latency of the six communication mechanisms on Dolly-P1M1.",
+    grid={"mechanism": LATENCY_MECHANISMS, "fpga_mhz": (100.0, 200.0, 500.0)},
+    fixed={"seed": DEFAULT_SEED},
+    tags=("paper", "figure", "synthetic"),
+)
+def fig9_cell(mechanism: str, fpga_mhz: float, seed: int = DEFAULT_SEED) -> Rows:
+    result = measure_latency(mechanism, fpga_mhz, seed=seed)
+    return [{
+        "mechanism": mechanism,
+        "fpga_mhz": fpga_mhz,
+        "measured_roundtrip_ns": result.roundtrip_ns,
+        "paper_roundtrip_ns": FIG9_PAPER.get(mechanism, {}).get(int(fpga_mhz)),
+    }]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 10: bandwidth
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    name="fig10",
+    title="Fig. 10 — Processor-eFPGA Bandwidth",
+    description="Single-processor bandwidth of the six mechanisms vs eFPGA clock. "
+                "quad_words defaults to 128 (vs the paper's 512) to keep the "
+                "pure-Python simulation fast; override it for the full study.",
+    grid={"mechanism": BANDWIDTH_MECHANISMS,
+          "fpga_mhz": (20.0, 50.0, 100.0, 200.0, 500.0)},
+    fixed={"quad_words": 128, "seed": DEFAULT_SEED},
+    tags=("paper", "figure", "synthetic"),
+)
+def fig10_cell(mechanism: str, fpga_mhz: float, quad_words: int = 128,
+               seed: int = DEFAULT_SEED) -> Rows:
+    result = measure_bandwidth(mechanism, fpga_mhz, quad_words=quad_words, seed=seed)
+    return [{
+        "mechanism": mechanism,
+        "fpga_mhz": fpga_mhz,
+        "measured_mbytes_per_s": result.mbytes_per_s,
+        "paper_peak_mbytes_per_s": FIG10_PAPER_PEAKS.get(mechanism),
+    }]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 11: register scalability
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    name="fig11",
+    title="Fig. 11 — Per-Processor Register Bandwidth vs Contending Processors",
+    description="Per-processor bandwidth of normal vs shadow registers under contention.",
+    grid={"mechanism": ("normal_reg", "shadow_reg"),
+          "operation": ("write", "read"),
+          "num_processors": (1, 2, 4, 8, 16)},
+    fixed={"accesses_per_processor": 32, "fpga_mhz": 500.0, "seed": DEFAULT_SEED},
+    tags=("paper", "figure", "synthetic"),
+)
+def fig11_cell(mechanism: str, operation: str, num_processors: int,
+               accesses_per_processor: int = 32, fpga_mhz: float = 500.0,
+               seed: int = DEFAULT_SEED) -> Rows:
+    result = measure_register_scalability(
+        mechanism, operation, num_processors,
+        fpga_mhz=fpga_mhz, accesses_per_processor=accesses_per_processor, seed=seed,
+    )
+    return [{
+        "mechanism": mechanism,
+        "operation": operation,
+        "num_processors": num_processors,
+        "per_processor_mbytes_per_s": result.per_processor_mbytes_per_s,
+    }]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 12: application benchmarks
+# --------------------------------------------------------------------------- #
+_APP_BY_LABEL: Dict[str, ApplicationConfig] = {
+    config.label: config for config in APPLICATION_CONFIGS
+}
+
+
+def fig12_row(config: ApplicationConfig, seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Measure one Fig. 12 bar group (all three systems) for one config."""
+    params = config.params(seed=seed)
+    baseline = config.runner(SystemKind.CPU_ONLY, params, **config.kwargs)
+    fpsoc_result = config.runner(SystemKind.FPSOC, params, **config.kwargs)
+    duet_result = config.runner(SystemKind.DUET, params, **config.kwargs)
+    return {
+        "benchmark": config.label,
+        "cpu_runtime_ns": baseline.runtime_ns,
+        "fpsoc_speedup": fpsoc_result.speedup_over(baseline),
+        "duet_speedup": duet_result.speedup_over(baseline),
+        "paper_fpsoc_speedup": config.paper_fpsoc_speedup,
+        "paper_duet_speedup": config.paper_duet_speedup,
+        "fpsoc_norm_adp": fpsoc_result.normalized_adp(baseline),
+        "duet_norm_adp": duet_result.normalized_adp(baseline),
+        "all_correct": baseline.correct and fpsoc_result.correct and duet_result.correct,
+    }
+
+
+def fig12_summary(rows: Rows) -> Dict[str, Any]:
+    """Geometric-mean speedup / ADP aggregates, plus the paper's numbers."""
+    return {
+        "duet_geomean_speedup": geometric_mean(
+            [r["duet_speedup"] for r in rows if r["duet_speedup"] > 0]),
+        "fpsoc_geomean_speedup": geometric_mean(
+            [r["fpsoc_speedup"] for r in rows if r["fpsoc_speedup"] > 0]),
+        "duet_geomean_adp": geometric_mean(
+            [r["duet_norm_adp"] for r in rows if r["duet_norm_adp"] > 0]),
+        "fpsoc_geomean_adp": geometric_mean(
+            [r["fpsoc_norm_adp"] for r in rows if r["fpsoc_norm_adp"] > 0]),
+        "paper_geomean_speedup": dict(FIG12_PAPER_GEOMEAN),
+        "paper_geomean_adp": dict(FIG12_PAPER_ADP_GEOMEAN),
+    }
+
+
+@register_experiment(
+    name="fig12",
+    title="Fig. 12 — Normalized Speedup and ADP of Application Benchmarks",
+    description="Every application on the three systems (CPU-only, FPSoC, Duet); "
+                "the summary carries the geometric means.",
+    grid={"benchmark": tuple(_APP_BY_LABEL)},
+    fixed={"seed": DEFAULT_SEED},
+    summarize=fig12_summary,
+    tags=("paper", "figure", "application"),
+)
+def fig12_cell(benchmark: str, seed: int = DEFAULT_SEED) -> Rows:
+    return [fig12_row(_APP_BY_LABEL[benchmark], seed=seed)]
+
+
+# --------------------------------------------------------------------------- #
+# Per-application experiments (one per Fig. 12 configuration)
+# --------------------------------------------------------------------------- #
+_JSON_SCALARS = (int, float, str, bool, type(None))
+
+
+def app_cell(benchmark: str, system: str, seed: int = DEFAULT_SEED) -> Rows:
+    """Run one application on one system kind; one row per run."""
+    config = _APP_BY_LABEL[benchmark]
+    kind = SystemKind(system)
+    params = WorkloadParams(num_processors=config.processors,
+                            num_memory_hubs=config.memory_hubs, seed=seed)
+    result = config.runner(kind, params, **config.kwargs)
+    return [{
+        "benchmark": config.label,
+        "system": kind.value,
+        "system_name": result.system_name,
+        "runtime_ns": result.runtime_ns,
+        "correct": result.correct,
+        "checksum": result.checksum if isinstance(result.checksum, _JSON_SCALARS)
+                    else repr(result.checksum),
+        "num_processors": result.num_processors,
+        "num_memory_hubs": result.num_memory_hubs,
+        "fpga_mhz": result.fpga_mhz,
+        "efpga_area_mm2": result.efpga_area_mm2,
+        "chip_area_mm2": result.chip_area_mm2,
+    }]
+
+
+for _config in APPLICATION_CONFIGS:
+    register_experiment(ExperimentSpec(
+        name=f"app/{_config.label}",
+        cell=app_cell,
+        title=f"Application benchmark {_config.label} "
+              f"(P{_config.processors}M{_config.memory_hubs})",
+        description=f"Runs {_config.label} on the CPU-only, FPSoC and Duet systems.",
+        grid={"system": tuple(kind.value for kind in
+                              (SystemKind.CPU_ONLY, SystemKind.FPSOC, SystemKind.DUET))},
+        fixed={"benchmark": _config.label, "seed": DEFAULT_SEED},
+        tags=("application",),
+    ))
+del _config

@@ -1,0 +1,245 @@
+"""Typed result model for experiment runs.
+
+A :class:`ResultSet` replaces the bare lists-of-dicts the legacy runners
+returned: it knows which experiment produced it, with which parameters, and
+offers relational-style helpers (``filter`` / ``group_by`` / ``pivot``),
+exports (``to_json`` / ``to_csv`` / ``to_table``) and built-in
+paper-vs-measured deviation reporting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.reporting import format_table
+
+
+class Row(dict):
+    """One measurement: a dict with attribute access (``row.fpga_mhz``)."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+@dataclass
+class RunStats:
+    """Execution accounting attached to every :class:`ResultSet`."""
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executor: str = "serial"
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+
+class ResultSet:
+    """An ordered collection of :class:`Row` plus experiment metadata."""
+
+    def __init__(
+        self,
+        experiment: str,
+        rows: Sequence[Mapping[str, Any]],
+        params: Optional[Mapping[str, Any]] = None,
+        summary: Optional[Mapping[str, Any]] = None,
+        stats: Optional[RunStats] = None,
+    ) -> None:
+        self.experiment = experiment
+        self.rows: List[Row] = [Row(row) for row in rows]
+        self.params: Dict[str, Any] = dict(params or {})
+        self.summary: Dict[str, Any] = dict(summary or {})
+        self.stats = stats or RunStats(cells=len(self.rows))
+
+    # ------------------------------------------------------------------ #
+    # Container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultSet):
+            return NotImplemented
+        return (self.experiment == other.experiment
+                and self.rows == other.rows
+                and self.summary == other.summary)
+
+    def __repr__(self) -> str:
+        return (f"ResultSet(experiment={self.experiment!r}, rows={len(self.rows)}, "
+                f"columns={self.columns})")
+
+    @property
+    def columns(self) -> List[str]:
+        """Union of row keys, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                seen.setdefault(key, None)
+        return list(seen)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Plain ``list[dict]`` copies (the legacy runner return shape)."""
+        return [dict(row) for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # Relational helpers
+    # ------------------------------------------------------------------ #
+    def filter(self, predicate: Optional[Callable[[Row], bool]] = None,
+               **equals: Any) -> "ResultSet":
+        """Rows matching ``predicate`` and/or column equality constraints."""
+        def keep(row: Row) -> bool:
+            if predicate is not None and not predicate(row):
+                return False
+            return all(row.get(key) == value for key, value in equals.items())
+
+        return ResultSet(self.experiment, [row for row in self.rows if keep(row)],
+                         params=self.params, summary=self.summary, stats=self.stats)
+
+    def group_by(self, *keys: str) -> Dict[Union[Any, Tuple[Any, ...]], "ResultSet"]:
+        """Partition rows by the given columns (tuple keys for >1 column)."""
+        if not keys:
+            raise ValueError("group_by needs at least one column")
+        groups: Dict[Any, List[Row]] = {}
+        for row in self.rows:
+            key = tuple(row.get(k) for k in keys)
+            groups.setdefault(key[0] if len(keys) == 1 else key, []).append(row)
+        return {
+            key: ResultSet(self.experiment, rows, params=self.params, stats=self.stats)
+            for key, rows in groups.items()
+        }
+
+    def pivot(self, index: str, columns: str, values: str) -> Tuple[List[str], List[List[Any]]]:
+        """A (headers, rows) wide table: one row per ``index`` value, one
+        column per distinct ``columns`` value, cells from ``values``."""
+        column_values: Dict[Any, None] = {}
+        index_values: Dict[Any, None] = {}
+        lookup: Dict[Tuple[Any, Any], Any] = {}
+        for row in self.rows:
+            index_values.setdefault(row.get(index), None)
+            column_values.setdefault(row.get(columns), None)
+            lookup[(row.get(index), row.get(columns))] = row.get(values)
+        headers = [index] + [str(value) for value in column_values]
+        table = [
+            [idx] + [lookup.get((idx, col)) for col in column_values]
+            for idx in index_values
+        ]
+        return headers, table
+
+    # ------------------------------------------------------------------ #
+    # Exports
+    # ------------------------------------------------------------------ #
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        payload = {
+            "experiment": self.experiment,
+            "params": self.params,
+            "summary": self.summary,
+            "rows": self.to_dicts(),
+        }
+        text = json.dumps(payload, indent=indent, default=str)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultSet":
+        payload = json.loads(text)
+        return cls(payload.get("experiment", ""), payload.get("rows", []),
+                   params=payload.get("params"), summary=payload.get("summary"))
+
+    @classmethod
+    def load(cls, path: str) -> "ResultSet":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        columns = self.columns
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for row in self.rows:
+            writer.writerow([row.get(column, "") for column in columns])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def to_table(self, columns: Optional[Sequence[str]] = None,
+                 headers: Optional[Sequence[str]] = None,
+                 title: Optional[str] = None) -> str:
+        columns = list(columns) if columns is not None else self.columns
+        headers = list(headers) if headers is not None else columns
+        return format_table(
+            headers,
+            [[row.get(column) for column in columns] for row in self.rows],
+            title=self.experiment if title is None else title,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Paper-vs-measured deviation reporting
+    # ------------------------------------------------------------------ #
+    def deviations(self) -> List[Dict[str, Any]]:
+        """Per-row comparison of every ``paper_<metric>`` column against its
+        measured partner (``measured_<metric>`` or bare ``<metric>``).
+
+        Rows whose paper value is missing/zero are skipped.  ``rel_err`` is
+        (measured - paper) / paper.
+        """
+        columns = self.columns
+        pairs: List[Tuple[str, str, str]] = []  # (metric, measured_col, paper_col)
+        for column in columns:
+            if not column.startswith("paper_"):
+                continue
+            metric = column[len("paper_"):]
+            for candidate in (f"measured_{metric}", metric):
+                if candidate in columns:
+                    pairs.append((metric, candidate, column))
+                    break
+        metric_columns = {col for pair in pairs for col in pair[1:]}
+        records: List[Dict[str, Any]] = []
+        for row in self.rows:
+            label = ", ".join(
+                f"{key}={row[key]}" for key in row
+                if key not in metric_columns and not key.startswith(("paper_", "measured_"))
+            )
+            for metric, measured_col, paper_col in pairs:
+                paper = row.get(paper_col)
+                measured = row.get(measured_col)
+                if not isinstance(paper, (int, float)) or not paper:
+                    continue
+                if not isinstance(measured, (int, float)):
+                    continue
+                records.append({
+                    "label": label,
+                    "metric": metric,
+                    "measured": float(measured),
+                    "paper": float(paper),
+                    "ratio": float(measured) / float(paper),
+                    "rel_err": (float(measured) - float(paper)) / float(paper),
+                })
+        return records
+
+    def deviation_table(self, title: Optional[str] = None) -> str:
+        records = self.deviations()
+        return format_table(
+            ["Row", "Metric", "Measured", "Paper", "Measured/Paper", "Rel. error"],
+            [[r["label"], r["metric"], r["measured"], r["paper"],
+              r["ratio"], r["rel_err"]] for r in records],
+            title=(f"{self.experiment} — paper vs measured"
+                   if title is None else title),
+        )

@@ -1,0 +1,171 @@
+"""Experiment execution: serial / process-pool executors plus result caching.
+
+The :class:`Runner` turns an :class:`~repro.api.spec.ExperimentSpec` into a
+:class:`~repro.api.results.ResultSet`:
+
+* ``executor="serial"`` runs every cell in-process, in grid order;
+* ``executor="process"`` fans independent cells out over a
+  ``concurrent.futures.ProcessPoolExecutor`` — rows come back in the same
+  deterministic grid order as the serial path;
+* passing ``cache_dir`` enables on-disk JSON caching keyed by
+  (experiment name, cell parameters): a cell whose exact parameters were
+  measured before is served from ``<cache_dir>/<experiment>/<sha256[:16]>.json``
+  without re-simulation.
+
+Cache layout::
+
+    <cache_dir>/
+        fig9/
+            1f0c2a....json   # {"experiment", "params", "rows"}
+        fig12/
+            ...
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.api.registry import get_experiment
+from repro.api.results import ResultSet, Row, RunStats
+from repro.api.spec import ExperimentSpec, Rows
+
+#: Bump when row schemas change incompatibly; invalidates every cache entry.
+CACHE_SCHEMA_VERSION = 1
+
+EXECUTORS = ("serial", "process")
+
+
+def _call_cell(cell, params: Dict[str, Any]) -> Rows:
+    """Module-level trampoline so the process pool only pickles (fn, params)."""
+    return cell(**params)
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity support
+        return os.cpu_count() or 1
+
+
+def _cell_key(experiment: str, params: Mapping[str, Any]) -> str:
+    payload = json.dumps(
+        {"experiment": experiment, "schema": CACHE_SCHEMA_VERSION,
+         "params": dict(params)},
+        sort_keys=True, default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class Runner:
+    """Executes experiments from the registry (or ad-hoc specs).
+
+    Example::
+
+        runner = Runner(executor="process", workers=4, cache_dir=".repro-cache")
+        results = runner.run("fig12")            # full grid, fanned out + cached
+        subset = runner.run("fig9", fpga_mhz=(100.0,))   # axis override
+    """
+
+    def __init__(self, executor: str = "serial", workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None, seed: Optional[int] = None) -> None:
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.executor = executor
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def run(self, experiment: Union[str, ExperimentSpec],
+            use_cache: bool = True, **overrides: Any) -> ResultSet:
+        """Run one experiment; ``overrides`` replace grid axes or fixed params."""
+        spec = (experiment if isinstance(experiment, ExperimentSpec)
+                else get_experiment(experiment))
+        if self.seed is not None and "seed" in spec.parameters:
+            overrides.setdefault("seed", self.seed)
+        cells = spec.cells(overrides)
+        started = time.perf_counter()
+        results: List[Optional[Rows]] = [None] * len(cells)
+        pending: List[int] = []
+        hits = 0
+        for index, cell in enumerate(cells):
+            cached = self._cache_get(spec.name, cell) if use_cache else None
+            if cached is not None:
+                results[index] = cached
+                hits += 1
+            else:
+                pending.append(index)
+
+        workers_used = 1
+        if self.executor == "process" and pending:
+            workers = self.workers or min(len(pending), _available_cpus())
+            workers_used = workers
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {index: pool.submit(_call_cell, spec.cell, cells[index])
+                           for index in pending}
+                for index, future in futures.items():
+                    results[index] = future.result()
+        else:
+            for index in pending:
+                results[index] = _call_cell(spec.cell, cells[index])
+
+        for index in pending:
+            self._cache_put(spec.name, cells[index], results[index])
+
+        rows = [row for cell_rows in results for row in (cell_rows or [])]
+        summary = spec.summarize(rows) if spec.summarize is not None else {}
+        stats = RunStats(
+            cells=len(cells),
+            cache_hits=hits,
+            cache_misses=len(pending),
+            executor=self.executor,
+            workers=workers_used,
+            elapsed_s=time.perf_counter() - started,
+        )
+        return ResultSet(spec.name, rows, params=dict(overrides),
+                         summary=summary, stats=stats)
+
+    # ------------------------------------------------------------------ #
+    # Cache
+    # ------------------------------------------------------------------ #
+    def _cache_path(self, experiment: str, params: Mapping[str, Any]) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        safe_name = experiment.replace(os.sep, "_").replace("/", "_")
+        return os.path.join(self.cache_dir, safe_name,
+                            _cell_key(experiment, params) + ".json")
+
+    def _cache_get(self, experiment: str, params: Mapping[str, Any]) -> Optional[Rows]:
+        path = self._cache_path(experiment, params)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            return list(payload["rows"])
+        except (OSError, ValueError, KeyError):
+            return None  # unreadable entries count as misses and get rewritten
+
+    def _cache_put(self, experiment: str, params: Mapping[str, Any],
+                   rows: Optional[Rows]) -> None:
+        path = self._cache_path(experiment, params)
+        if path is None or rows is None:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {"experiment": experiment, "params": dict(params), "rows": rows}
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, default=str)
+        os.replace(tmp_path, path)
+
+
+def run_experiment(experiment: Union[str, ExperimentSpec], **overrides: Any) -> ResultSet:
+    """Convenience one-shot: serial runner, no caching."""
+    return Runner().run(experiment, **overrides)

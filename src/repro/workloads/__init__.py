@@ -5,11 +5,41 @@ Each application module provides ``run(kind, params)`` returning a
 processor-only baseline, the FPSoC-like baseline or Duet — the three systems
 compared in Fig. 12.  :mod:`repro.workloads.synthetic` implements the
 latency / bandwidth / scalability microbenchmarks of Sec. V-C (Figs. 9-11).
+
+:data:`WORKLOAD_RUNNERS` names every application entry point so callers (the
+experiment registry in :mod:`repro.api.registry`, scripts, notebooks) can
+resolve workloads by name instead of importing each module.
 """
 
+from typing import Callable, Dict
+
+from repro.workloads import barnes_hut, bfs, dijkstra, pdes, popcount, sort, tangent
 from repro.workloads.common import BenchmarkResult, WorkloadParams
+
+#: Application entry points by name: ``run(kind, params, **kwargs)``.
+WORKLOAD_RUNNERS: Dict[str, Callable[..., BenchmarkResult]] = {
+    "tangent": tangent.run,
+    "popcount": popcount.run,
+    "sort": sort.run,
+    "dijkstra": dijkstra.run,
+    "barnes-hut": barnes_hut.run,
+    "pdes": pdes.run,
+    "bfs": bfs.run,
+}
+
+
+def get_workload(name: str) -> Callable[..., BenchmarkResult]:
+    """Look up an application ``run`` entry point by name."""
+    try:
+        return WORKLOAD_RUNNERS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOAD_RUNNERS))
+        raise KeyError(f"unknown workload {name!r}; known workloads: {known}") from None
+
 
 __all__ = [
     "BenchmarkResult",
     "WorkloadParams",
+    "WORKLOAD_RUNNERS",
+    "get_workload",
 ]

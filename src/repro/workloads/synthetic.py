@@ -16,6 +16,7 @@ synthetic benchmark does.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -42,6 +43,19 @@ CMD_PUSH_BUFFER = 3  # store COUNT words from the scratchpad into buffer B
 QUAD_WORDS = 512
 WORD_BYTES = 8
 LINE_BYTES = 16
+
+#: Default data seed shared with :class:`repro.workloads.common.WorkloadParams`.
+DEFAULT_SEED = 2023
+
+
+def _payload_words(count: int, seed: int) -> List[int]:
+    """Deterministic payload data for one run.
+
+    Values stay above the CMD_* opcodes and below CMD_STOP so they read as
+    plain data pushes when streamed through the command FIFO.
+    """
+    rng = random.Random(seed)
+    return [rng.randrange(1 << 12, 1 << 31) for _ in range(count)]
 
 
 def synthetic_registers() -> List[RegisterSpec]:
@@ -184,7 +198,8 @@ LATENCY_MECHANISMS = (
 )
 
 
-def measure_latency(mechanism: str, fpga_mhz: float) -> LatencyResult:
+def measure_latency(mechanism: str, fpga_mhz: float,
+                    seed: int = DEFAULT_SEED) -> LatencyResult:
     """Minimum round-trip latency of one mechanism on Dolly-P1M1."""
     if mechanism not in LATENCY_MECHANISMS:
         raise ValueError(f"unknown latency mechanism {mechanism!r}")
@@ -194,6 +209,7 @@ def measure_latency(mechanism: str, fpga_mhz: float) -> LatencyResult:
     adapter = system.adapter
     buffer_a = system.memory.allocate(4096, align=4096)
     buffer_b = system.memory.allocate(4096, align=4096)
+    payload = _payload_words(2, seed)
 
     def program(ctx):
         # Common setup (not measured): pass buffer addresses and the count.
@@ -221,8 +237,8 @@ def measure_latency(mechanism: str, fpga_mhz: float) -> LatencyResult:
         # eFPGA pull: the CPU dirties a line, then asks the eFPGA to load it;
         # the measured quantity is the accelerator-side load round trip,
         # bounded here by (invoke .. completion) minus the two MMIO trips.
-        yield from ctx.store(buffer_a, 0x1234)
-        yield from ctx.store(buffer_a + 8, 0x5678)
+        yield from ctx.store(buffer_a, payload[0])
+        yield from ctx.store(buffer_a + 8, payload[1])
         start = ctx.now
         yield from ctx.mmio_write(adapter.register_addr(REG_CMD), CMD_PULL_BUFFER)
         yield from ctx.mmio_read(adapter.register_addr(REG_DATA_OUT))
@@ -255,7 +271,8 @@ BANDWIDTH_MECHANISMS = (
 )
 
 
-def measure_bandwidth(mechanism: str, fpga_mhz: float, quad_words: int = QUAD_WORDS) -> BandwidthResult:
+def measure_bandwidth(mechanism: str, fpga_mhz: float, quad_words: int = QUAD_WORDS,
+                      seed: int = DEFAULT_SEED) -> BandwidthResult:
     """Single-processor bandwidth of one mechanism (512 quad-words by default)."""
     if mechanism not in BANDWIDTH_MECHANISMS:
         raise ValueError(f"unknown bandwidth mechanism {mechanism!r}")
@@ -267,11 +284,12 @@ def measure_bandwidth(mechanism: str, fpga_mhz: float, quad_words: int = QUAD_WO
     bytes_moved = quad_words * WORD_BYTES
     buffer_a = system.memory.allocate(bytes_moved, align=4096)
     buffer_b = system.memory.allocate(bytes_moved, align=4096)
+    payload = _payload_words(quad_words, seed)
 
     def register_program(ctx):
         start = ctx.now
         for index in range(quad_words):
-            yield from ctx.mmio_write(adapter.register_addr(REG_CMD), 0x1000 + index)
+            yield from ctx.mmio_write(adapter.register_addr(REG_CMD), payload[index])
             yield from ctx.mmio_read(adapter.register_addr(REG_DATA_OUT))
         return ctx.now - start
 
@@ -280,7 +298,7 @@ def measure_bandwidth(mechanism: str, fpga_mhz: float, quad_words: int = QUAD_WO
         yield from ctx.mmio_write(adapter.register_addr(REG_COUNT), quad_words)
         yield from ctx.compute(800)
         for index in range(quad_words):
-            yield from ctx.store(buffer_a + index * WORD_BYTES, index)
+            yield from ctx.store(buffer_a + index * WORD_BYTES, payload[index])
         start = ctx.now
         yield from ctx.mmio_write(adapter.register_addr(REG_CMD), CMD_PULL_BUFFER)
         yield from ctx.mmio_read(adapter.register_addr(REG_DATA_OUT))
@@ -320,6 +338,7 @@ def measure_register_scalability(
     num_processors: int,
     fpga_mhz: float = 500.0,
     accesses_per_processor: int = 64,
+    seed: int = DEFAULT_SEED,
 ) -> ScalabilityResult:
     """Per-processor bandwidth with ``num_processors`` hammering one register."""
     if mechanism not in ("shadow_reg", "normal_reg"):
@@ -330,12 +349,13 @@ def measure_register_scalability(
     system, _ = _build(kind, processors=num_processors, fpga_mhz=fpga_mhz, soft_cache=False)
     adapter = system.adapter
     target = adapter.register_addr(REG_PLAIN_A)
+    payload = _payload_words(accesses_per_processor, seed)
 
     def program(ctx):
         start = ctx.now
         for index in range(accesses_per_processor):
             if operation == "write":
-                yield from ctx.mmio_write(target, index)
+                yield from ctx.mmio_write(target, payload[index])
             else:
                 yield from ctx.mmio_read(target)
         return ctx.now - start
