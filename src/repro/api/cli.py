@@ -7,7 +7,10 @@ Subcommands:
 * ``report`` — run and print the measured table plus the paper-vs-measured
   deviation report;
 * ``sweep``  — run with overridden parameter axes and optionally pivot the
-  result into a wide table (``--pivot index columns values``).
+  result into a wide table (``--pivot index columns values``);
+* ``perf``   — run the kernel/NoC/end-to-end performance suite, write
+  ``BENCH_kernel.json`` and optionally gate against a recorded baseline
+  (``--baseline BENCH_kernel.json``); see ``docs/performance.md``.
 
 Parameters are passed as repeated ``-p name=value`` flags; comma-separated
 values sweep an axis (``-p fpga_mhz=100,200,500``).  ``--cache DIR`` enables
@@ -121,6 +124,59 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    # Imported lazily: the perf suite pulls in the experiment runner, and
+    # plain `repro list`/`run` invocations shouldn't pay for it.
+    import os.path
+
+    from repro import perf
+
+    out_path = args.out or perf.BENCH_FILENAME
+    baseline = None
+    if args.baseline:
+        if os.path.abspath(out_path) == os.path.abspath(args.baseline):
+            print("error: refusing to overwrite the baseline being compared "
+                  "against; pass --out FILE to write the new report elsewhere",
+                  file=sys.stderr)
+            return 2
+        baseline = perf.load_report(args.baseline)
+    progress = None if args.json else (lambda line: print(line, file=sys.stderr))
+    report = perf.run_suite(perf.SUITE, quick=args.quick, progress=progress)
+    perf.write_report(report, out_path)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(format_table(
+            ["Benchmark", "Value", "Unit", "Direction"],
+            [[bench["name"], format(bench["value"], ",.6g"), bench["unit"],
+              bench["direction"]] for bench in report["benchmarks"]],
+            title=f"Performance suite ({report['mode']} mode)",
+        ))
+        print(f"wrote {out_path}", file=sys.stderr)
+    if baseline is not None:
+        gates = tuple(args.gate or ("kernel_events_per_sec",))
+        comparisons = perf.compare_reports(
+            report, baseline, tolerance=args.max_regression, gates=gates)
+        # Comparison chatter goes to stderr in --json mode so stdout stays
+        # a single parseable JSON document.
+        stream = sys.stderr if args.json else sys.stdout
+        print(file=stream)
+        print(perf.format_comparisons(comparisons), file=stream)
+        compared = {comparison.name for comparison in comparisons}
+        missing = [gate for gate in gates if gate not in compared]
+        if missing:
+            print("error: gated benchmark(s) missing from the comparison "
+                  f"({', '.join(missing)}): not in the baseline, zero-valued, "
+                  "or measured with different params — the gate cannot pass "
+                  "vacuously", file=sys.stderr)
+            return 1
+        if perf.has_gated_regression(comparisons):
+            print("error: gated benchmark regressed beyond "
+                  f"{args.max_regression:.0%} of baseline", file=sys.stderr)
+            return 1
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     results = _run(args)
     if args.pivot:
@@ -181,6 +237,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--pivot", nargs=3, metavar=("INDEX", "COLUMNS", "VALUES"),
                          help="pivot the rows into a wide table")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_perf = subparsers.add_parser(
+        "perf", help="run the performance suite and write BENCH_kernel.json")
+    p_perf.add_argument("--quick", action="store_true",
+                        help="reduced sizes/repeats (CI smoke mode)")
+    p_perf.add_argument("--out", metavar="FILE", default=None,
+                        help="report path (default: BENCH_kernel.json)")
+    p_perf.add_argument("--baseline", metavar="FILE", default=None,
+                        help="compare against a recorded baseline report and "
+                             "fail on gated regressions")
+    p_perf.add_argument("--max-regression", type=float, default=0.2,
+                        help="tolerated fractional slowdown vs baseline "
+                             "(default 0.2 = 20%%)")
+    p_perf.add_argument("--gate", action="append",
+                        default=None, metavar="BENCH",
+                        help="benchmark name that fails the run on regression "
+                             "(repeatable; default: kernel_events_per_sec)")
+    p_perf.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    p_perf.set_defaults(func=cmd_perf)
 
     return parser
 

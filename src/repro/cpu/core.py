@@ -61,11 +61,12 @@ class CpuContext:
     # -- compute -------------------------------------------------------- #
     def compute(self, instructions: float = 1.0, fp: bool = False):
         """Charge ``instructions`` worth of ALU/FPU work."""
-        config = self._core.config
+        core = self._core
+        config = core.config
         per_op = config.fp_op_cycles if fp else config.int_op_cycles
         cycles = max(1.0, instructions * per_op / config.issue_width)
-        self._core.stats.counter("instructions").increment(int(instructions))
-        yield self._core.domain.wait_cycles(int(round(cycles)))
+        core._c_instructions.value += int(instructions)
+        yield core.domain.wait_cycles(int(round(cycles)))
         return None
 
     def stall(self, cycles: int):
@@ -77,20 +78,20 @@ class CpuContext:
     def load(self, addr: int):
         yield from self._issue()
         value = yield from self._core.cache.load(addr)
-        self._core.stats.counter("loads").increment()
+        self._core._c_loads.value += 1
         return value
 
     def store(self, addr: int, value: int = 0):
         yield from self._issue()
         yield from self._core.cache.store(addr, value)
-        self._core.stats.counter("stores").increment()
+        self._core._c_stores.value += 1
         return None
 
     def amo(self, addr: int, fn: Callable[[int], int]):
         """Atomic read-modify-write; returns the old value."""
         yield from self._issue()
         old = yield from self._core.cache.amo(addr, fn)
-        self._core.stats.counter("atomics").increment()
+        self._core._c_atomics.value += 1
         return old
 
     def cas(self, addr: int, expected: int, desired: int):
@@ -159,6 +160,11 @@ class Core:
         self.config = config or CoreConfig()
         self.name = name or f"core{core_id}"
         self.stats = StatSet(f"{self.name}.stats")
+        # Hot-loop stat objects, resolved once instead of per instruction.
+        self._c_instructions = self.stats.counter("instructions")
+        self._c_loads = self.stats.counter("loads")
+        self._c_stores = self.stats.counter("stores")
+        self._c_atomics = self.stats.counter("atomics")
         self.context = CpuContext(self)
 
     def run(self, program: Program, *args: Any, name: str = "", **kwargs: Any) -> Process:

@@ -76,6 +76,14 @@ class DirectoryShard:
         self._queued: Dict[int, Deque[NocMessage]] = {}
         self._collectors: Dict[int, _AckCollector] = {}
         self.stats = StatSet(f"{self.name}.stats")
+        # Hot-loop stat objects, resolved once instead of per request.
+        self._c_llc_hits = self.stats.counter("llc_hits")
+        self._c_llc_misses = self.stats.counter("llc_misses")
+        self._c_requests = {
+            kind: self.stats.counter(f"req_{kind}") for kind in MsgKind.REQUESTS
+        }
+        self._ack_wait_name = f"{self.name}.acks"
+        self._serve_name = f"{self.name}-serve"
 
     # ------------------------------------------------------------------ #
     # Directory state access
@@ -110,7 +118,7 @@ class DirectoryShard:
                 self._queued.setdefault(line, deque()).append(message)
             else:
                 self._busy.add(line)
-                self.sim.process(self._serve(message), name=f"{self.name}-serve-{message.msg_id}")
+                self.sim.process(self._serve(message), name=self._serve_name)
         elif message.kind in (MsgKind.INV_ACK, MsgKind.WB_DATA, MsgKind.TRANSFER_ACK):
             self._collect_ack(message)
         else:
@@ -136,7 +144,7 @@ class DirectoryShard:
     def _serve(self, message: NocMessage):
         line = self.address_map.line_of(message.addr)
         requester: AgentId = (message.meta["reply_node"], message.meta["reply_target"])
-        self.stats.counter(f"req_{message.kind}").increment()
+        self._c_requests[message.kind].value += 1
         yield self.domain.wait_cycles(self.config.llc_latency_cycles)
         if message.kind == MsgKind.GET_S:
             yield from self._serve_get_s(message, line, requester)
@@ -187,7 +195,10 @@ class DirectoryShard:
             entry.sharers = set()
             self._send_data(requester, line, grant="M")
         elif entry.state is DirectoryState.SHARED:
-            others = {sharer for sharer in entry.sharers if sharer != requester}
+            # Sorted so invalidations fan out in a deterministic order —
+            # set iteration over (node, target) pairs would vary with string
+            # hash randomization and make multi-sharer runs irreproducible.
+            others = sorted(sharer for sharer in entry.sharers if sharer != requester)
             if others:
                 done = self._expect_acks(line, len(others))
                 for sharer in others:
@@ -245,15 +256,15 @@ class DirectoryShard:
     def _access_data(self, line: int):
         """Charge the LLC data access; on a miss, add the DRAM latency."""
         if self.data_store.lookup(line) is None:
-            self.stats.counter("llc_misses").increment()
+            self._c_llc_misses.value += 1
             yield self.domain.sim.timeout(self.memory.latency_ns)
             self.data_store.insert(line, CoherenceState.SHARED)
         else:
-            self.stats.counter("llc_hits").increment()
+            self._c_llc_hits.value += 1
         return None
 
     def _expect_acks(self, line: int, needed: int):
-        event = self.sim.event(f"{self.name}.acks@{line:x}")
+        event = self.sim.event(self._ack_wait_name)
         self._collectors[line] = _AckCollector(event=event, needed=needed)
         return event
 
@@ -274,9 +285,7 @@ class DirectoryShard:
             next_message = queued.popleft()
             if not queued:
                 del self._queued[line]
-            self.sim.process(
-                self._serve(next_message), name=f"{self.name}-serve-{next_message.msg_id}"
-            )
+            self.sim.process(self._serve(next_message), name=self._serve_name)
         else:
             self._busy.discard(line)
 

@@ -68,6 +68,16 @@ class PrivateCacheAgent:
         self._mshr_free: Optional[Event] = None
         self._line_listeners: list = []
         self.stats = StatSet(f"{self.name}.stats")
+        # Hot-loop stat objects, resolved once instead of per access.
+        self._c_loads = self.stats.counter("loads")
+        self._c_l1_hits = self.stats.counter("l1_hits")
+        self._c_l2_hits = self.stats.counter("l2_hits")
+        self._c_load_misses = self.stats.counter("load_misses")
+        self._c_stores = self.stats.counter("stores")
+        self._c_store_hits = self.stats.counter("store_hits")
+        self._c_store_misses = self.stats.counter("store_misses")
+        self._miss_wait_name = f"{self.name}.miss"
+        self._fwd_name = f"{self.name}-fwd"
 
     def _attach(self, tile_router: TileRouter, target: str):
         """Create the agent's NoC port.
@@ -84,18 +94,18 @@ class PrivateCacheAgent:
     def load(self, addr: int, size_bytes: int = 8) -> Any:
         """Read ``addr``; returns the functional word value."""
         line = self.address_map.line_of(addr)
-        self.stats.counter("loads").increment()
+        self._c_loads.value += 1
         yield self.domain.wait_cycles(self.config.l1_latency_cycles)
         if self._l1_hit(line):
-            self.stats.counter("l1_hits").increment()
+            self._c_l1_hits.value += 1
             return self.memory.read_word(addr)
         yield self.domain.wait_cycles(self.config.l2_latency_cycles)
         entry = self.l2.lookup(line)
         if entry is not None and entry.state.can_read:
-            self.stats.counter("l2_hits").increment()
+            self._c_l2_hits.value += 1
             self._fill_l1(line)
             return self.memory.read_word(addr)
-        self.stats.counter("load_misses").increment()
+        self._c_load_misses.value += 1
         yield from self._miss(line, want_modified=False)
         self._fill_l1(line)
         return self.memory.read_word(addr)
@@ -108,16 +118,16 @@ class PrivateCacheAgent:
                 f"{self.config.max_store_bytes}B L2 store port"
             )
         line = self.address_map.line_of(addr)
-        self.stats.counter("stores").increment()
+        self._c_stores.value += 1
         yield self.domain.wait_cycles(self.config.l1_latency_cycles)
         yield self.domain.wait_cycles(self.config.l2_latency_cycles)
         entry = self.l2.lookup(line)
         if entry is not None and entry.state.can_write:
-            self.stats.counter("store_hits").increment()
+            self._c_store_hits.value += 1
             entry.state = CoherenceState.MODIFIED
             entry.dirty = True
         else:
-            self.stats.counter("store_misses").increment()
+            self._c_store_misses.value += 1
             yield from self._miss(line, want_modified=True)
         self._fill_l1(line)
         self.memory.write_word(addr, value)
@@ -185,7 +195,7 @@ class PrivateCacheAgent:
             if self._mshr_free is None:
                 self._mshr_free = self.sim.event(f"{self.name}.mshr-free")
             yield self._mshr_free
-        completion = self.sim.event(f"{self.name}.miss@{line:x}")
+        completion = Event(self.sim, self._miss_wait_name)
         self._pending[line] = completion
         home = self.address_map.home_tile(line)
         kind = MsgKind.GET_M if want_modified else MsgKind.GET_S
@@ -237,7 +247,7 @@ class PrivateCacheAgent:
             line = self.address_map.line_of(message.addr)
             self._writeback_buffer.pop(line, None)
         elif message.kind in (MsgKind.INV, MsgKind.FWD_GET_S, MsgKind.FWD_GET_M):
-            self.sim.process(self._serve_forward(message), name=f"{self.name}-fwd-{message.msg_id}")
+            self.sim.process(self._serve_forward(message), name=self._fwd_name)
         else:
             raise RuntimeError(f"{self.name}: unexpected message kind {message.kind!r}")
 

@@ -55,6 +55,11 @@ class MeshNetwork:
         # (plane, src, dst) -> time the link becomes free
         self._link_free_at: Dict[Tuple[int, int, int], float] = {}
         self.stats = StatSet(f"{name}.stats")
+        # The per-message stat objects, resolved once instead of per send.
+        self._messages_sent = self.stats.counter("messages_sent")
+        self._flits_sent = self.stats.counter("flits_sent")
+        self._link_wait_ns = self.stats.histogram("link_wait_ns")
+        self._message_latency_ns = self.stats.histogram("message_latency_ns")
 
     # ------------------------------------------------------------------ #
     # Endpoint management
@@ -76,41 +81,47 @@ class MeshNetwork:
         """Inject ``message``; returns an event fired at delivery."""
         if message.dst not in self._handlers:
             raise ValueError(f"no handler attached at destination node {message.dst}")
-        delivered = self.sim.event(f"{self.name}.delivered#{message.msg_id}")
+        delivered = Event(self.sim, "delivered")
         message.stamp("injected", self.sim.now)
-        self.stats.counter("messages_sent").increment()
-        self.stats.counter("flits_sent").increment(message.flits)
-        self.sim.process(self._transfer(message, delivered), name=f"noc-xfer-{message.msg_id}")
+        self._messages_sent.value += 1
+        self._flits_sent.value += message.flits
+        self.sim.process(self._transfer(message, delivered), name="noc-xfer")
         return delivered
 
     def _transfer(self, message: NocMessage, delivered: Event):
+        sim = self.sim
         cycle = self.domain.period_ns
+        link_free_at = self._link_free_at
         route = self.topology.route(message.src, message.dst)
         # Injection is aligned to the NoC clock even for local (same-tile)
         # delivery: the endpoint's NoC interface still clocks the packet in.
         yield self.domain.align()
+        transfer_ns = (self.router_latency_cycles + message.flits) * cycle
+        plane = int(message.plane)
         for src, dst in route:
-            key = (int(message.plane), src, dst)
+            key = (plane, src, dst)
             # Reserve the link in arrival order: the message occupies the link
             # from the later of "now" and "link free", for its serialization
             # time.  Reserving before waiting keeps per-link FIFO order even
             # when many messages are queued behind the same link.
-            start = max(self.sim.now, self._link_free_at.get(key, 0.0))
-            if start > self.sim.now:
-                self.stats.histogram("link_wait_ns").record(start - self.sim.now)
-            transfer_ns = (self.router_latency_cycles + message.flits) * cycle
-            self._link_free_at[key] = start + transfer_ns
-            yield Delay(start + transfer_ns - self.sim.now)
+            now = sim.now
+            start = link_free_at.get(key, 0.0)
+            if start > now:
+                self._link_wait_ns.record(start - now)
+            else:
+                start = now
+            link_free_at[key] = start + transfer_ns
+            yield Delay(start + transfer_ns - now)
         if not route:
             # Local delivery still pays one router traversal.
             yield Delay(self.router_latency_cycles * cycle)
-        message.stamp("delivered", self.sim.now)
-        self.stats.histogram("message_latency_ns").record(message.noc_latency())
+        message.stamp("delivered", sim.now)
+        self._message_latency_ns.record(message.noc_latency())
         handler = self._handlers.get(message.dst)
         if handler is None:
             raise RuntimeError(f"handler for node {message.dst} detached mid-flight")
         handler(message)
-        delivered.succeed(self.sim.now)
+        delivered.succeed(sim.now)
 
     # ------------------------------------------------------------------ #
     # Introspection

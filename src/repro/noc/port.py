@@ -76,10 +76,12 @@ class NocPort:
             size_bytes=size_bytes,
             plane=plane,
         )
-        message.meta["target"] = dst_target
-        message.meta["reply_node"] = self.node
-        message.meta["reply_target"] = self.target
-        message.meta.update(meta)
+        message_meta = message.meta
+        message_meta["target"] = dst_target
+        message_meta["reply_node"] = self.node
+        message_meta["reply_target"] = self.target
+        if meta:
+            message_meta.update(meta)
         return self.network.send(message)
 
     def reply(self, original: NocMessage, kind: str, **kwargs) -> Event:

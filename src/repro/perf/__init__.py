@@ -1,0 +1,100 @@
+"""Performance benchmarks and the tracked perf baseline (``BENCH_kernel.json``).
+
+``python -m repro perf`` runs this suite, writes the report, and —
+given ``--baseline`` — fails on gated regressions.  See
+``docs/performance.md`` for the workflow and schema.
+"""
+
+from repro.perf.harness import (
+    DEFAULT_TOLERANCE,
+    SCHEMA,
+    BenchSpec,
+    Comparison,
+    compare_reports,
+    format_comparisons,
+    has_gated_regression,
+    load_report,
+    run_suite,
+    write_report,
+)
+from repro.perf import endtoend, micro
+
+#: Default output filename for the tracked baseline artifact.
+BENCH_FILENAME = "BENCH_kernel.json"
+
+#: The standard suite, in execution order.  ``kernel_events_per_sec`` is the
+#: headline (and CI-gated) number.
+SUITE = [
+    # The microbenchmarks keep identical problem sizes in quick mode (only
+    # the repeat count drops) so a --quick CI run compares apples-to-apples
+    # against a committed full-mode baseline.
+    BenchSpec(
+        name="kernel_events_per_sec",
+        fn=micro.kernel_throughput,
+        unit="events/s",
+        params={"iterations": 30_000},
+        repeats=5,
+        quick_repeats=3,
+    ),
+    BenchSpec(
+        name="kernel_zero_delay_events_per_sec",
+        fn=micro.kernel_zero_delay_throughput,
+        unit="events/s",
+        params={"iterations": 50_000},
+        repeats=5,
+        quick_repeats=3,
+    ),
+    BenchSpec(
+        name="kernel_timed_events_per_sec",
+        fn=micro.kernel_timed_throughput,
+        unit="events/s",
+        params={"iterations": 30_000, "processes": 4},
+        repeats=5,
+        quick_repeats=3,
+    ),
+    BenchSpec(
+        name="channel_handoff_items_per_sec",
+        fn=micro.channel_handoff,
+        unit="items/s",
+        params={"items": 20_000},
+    ),
+    BenchSpec(
+        name="noc_hop_messages_per_sec",
+        fn=micro.noc_hop_throughput,
+        unit="messages/s",
+        params={"messages": 2_000},
+    ),
+    BenchSpec(
+        name="fig9_wall_seconds",
+        fn=endtoend.fig9_wall_seconds,
+        unit="s",
+        direction="lower",
+        repeats=2,
+        quick_repeats=1,
+        quick_params={"mechanisms": ("shadow_reg",), "frequencies": (100.0,)},
+    ),
+    BenchSpec(
+        name="fig11_wall_seconds",
+        fn=endtoend.fig11_wall_seconds,
+        unit="s",
+        direction="lower",
+        repeats=2,
+        quick_repeats=1,
+        quick_params={"processors": (1, 2), "accesses_per_processor": 8},
+    ),
+]
+
+__all__ = [
+    "BENCH_FILENAME",
+    "SUITE",
+    "BenchSpec",
+    "Comparison",
+    "DEFAULT_TOLERANCE",
+    "SCHEMA",
+    "compare_reports",
+    "format_comparisons",
+    "has_gated_regression",
+    "load_report",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,37 @@
+"""End-to-end wall-time benchmarks over the experiment registry.
+
+These measure what a user actually waits for: the wall-clock time of one
+``fig9`` latency sweep and one ``fig11`` scalability sweep through the
+standard :class:`~repro.api.runner.Runner` (serial executor, caching off).
+They are *lower is better* and intentionally not CI-gated — full-figure
+wall time is noisy on shared machines — but they anchor the perf trajectory
+in BENCH_kernel.json alongside the microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.api.runner import Runner
+
+
+def fig9_wall_seconds(mechanisms: Sequence[str] = ("shadow_reg", "cpu_pull_proxy"),
+                      frequencies: Sequence[float] = (100.0, 500.0)) -> float:
+    """Wall seconds for a fig9 latency sweep subset."""
+    runner = Runner()
+    start = time.perf_counter()
+    runner.run("fig9", use_cache=False,
+               mechanism=tuple(mechanisms), fpga_mhz=tuple(frequencies))
+    return time.perf_counter() - start
+
+
+def fig11_wall_seconds(processors: Sequence[int] = (1, 2, 4),
+                       accesses_per_processor: int = 16) -> float:
+    """Wall seconds for a fig11 scalability sweep subset."""
+    runner = Runner()
+    start = time.perf_counter()
+    runner.run("fig11", use_cache=False,
+               num_processors=tuple(processors),
+               accesses_per_processor=accesses_per_processor)
+    return time.perf_counter() - start

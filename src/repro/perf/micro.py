@@ -1,0 +1,142 @@
+"""Microbenchmarks for the simulation kernel's hot paths.
+
+Three of them, matching where the figure experiments spend their event
+budget:
+
+* :func:`kernel_throughput` — the canonical *kernel events/sec* number: a
+  mixed workload of cooperative yields, event rendezvous (zero-delay
+  wakeups through the immediate deque) and timed delays (heap traffic).
+  The mix deliberately emphasizes the zero-delay paths (~6:1) because the
+  per-event overhead of exactly those hops is what the fast path exists to
+  eliminate; :func:`kernel_timed_throughput` tracks the heap path on its
+  own, and the end-to-end benches track the realistic blend (the figure
+  experiments schedule ~45% of their events at zero delay).
+* :func:`channel_handoff` — blocking producer/consumer pairs through a
+  capacity-1 :class:`~repro.sim.channel.Channel`, so every item forces a
+  real event rendezvous in each direction.
+* :func:`noc_hop_throughput` — serialized request/response messages across
+  a mesh diagonal, exercising the per-hop link reservation loop, clock
+  alignment and delivery events.
+
+All three return a rate (per wall second), so *higher is better* and
+regressions show up as ratios < 1 against the recorded baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.noc import MeshNetwork, NocMessage
+from repro.sim import Channel, ClockDomain, Delay, Simulator
+
+
+def kernel_throughput(iterations: int = 30_000) -> float:
+    """Events per wall second on the zero-delay-heavy kernel workload.
+
+    Per iteration: four cooperative yields, one event rendezvous (a
+    zero-delay succeed plus the waiter's wakeup) and one timed delay —
+    seven events, ~6:1 zero-delay:timed.
+    """
+    sim = Simulator()
+
+    def pinger():
+        for _ in range(iterations):
+            yield None                       # cooperative yields
+            yield None
+            yield None
+            yield None
+            event = sim.event()
+            sim.schedule(0.0, event.succeed, 1)
+            yield event                      # zero-delay rendezvous
+            yield Delay(1.0)                 # timed wakeup (heap)
+
+    sim.process(pinger())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_executed / elapsed
+
+
+def kernel_timed_throughput(iterations: int = 30_000, processes: int = 4) -> float:
+    """Events per wall second when every wakeup is a timed delay (heap path)."""
+    sim = Simulator()
+
+    def ticker():
+        for _ in range(iterations):
+            yield Delay(1.0)
+
+    for _ in range(processes):
+        sim.process(ticker())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_executed / elapsed
+
+
+def kernel_zero_delay_throughput(iterations: int = 50_000) -> float:
+    """Events per wall second when every wakeup is zero-delay."""
+    sim = Simulator()
+
+    def pinger():
+        for _ in range(iterations):
+            yield None
+            event = sim.event()
+            sim.schedule(0.0, event.succeed, 1)
+            yield event
+
+    sim.process(pinger())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return sim.events_executed / elapsed
+
+
+def channel_handoff(items: int = 20_000) -> float:
+    """Items per wall second through a capacity-1 blocking channel."""
+    sim = Simulator()
+    channel = Channel(sim, capacity=1)
+    received = 0
+
+    def producer():
+        for index in range(items):
+            yield from channel.put(index)
+
+    def consumer():
+        nonlocal received
+        for _ in range(items):
+            yield from channel.get()
+            received += 1
+
+    sim.process(producer())
+    sim.process(consumer())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    if received != items:
+        raise RuntimeError(f"channel bench lost items: {received}/{items}")
+    return items / elapsed
+
+
+def noc_hop_throughput(messages: int = 2_000, width: int = 4, height: int = 4) -> float:
+    """Round-trip messages per wall second across the mesh diagonal."""
+    sim = Simulator()
+    domain = ClockDomain(sim, 1000.0, "noc-bench")
+    network = MeshNetwork(sim, domain, width, height)
+    far = network.node_count - 1
+    network.attach(far, lambda message: None)
+    network.attach(0, lambda message: None)
+    delivered_count = 0
+
+    def sender():
+        nonlocal delivered_count
+        for index in range(messages):
+            yield network.send(NocMessage(src=0, dst=far, kind="bench", addr=index))
+            delivered_count += 1
+
+    sim.process(sender())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    if delivered_count != messages:
+        raise RuntimeError(f"noc bench lost messages: {delivered_count}/{messages}")
+    return messages / elapsed

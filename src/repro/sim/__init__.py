@@ -8,7 +8,14 @@ rising edges (:class:`ClockDomain`), and the clock-domain-crossing
 """
 
 from repro.sim.event import Event
-from repro.sim.kernel import Delay, Process, SimulationError, Simulator
+from repro.sim.kernel import (
+    Delay,
+    Process,
+    SimulationError,
+    Simulator,
+    ns_to_ps,
+    ps_to_ns,
+)
 from repro.sim.clock import ClockDomain
 from repro.sim.channel import AsyncFifo, Channel, QueueFullError
 from repro.sim.stats import Counter, Histogram, StatSet
@@ -26,4 +33,6 @@ __all__ = [
     "Counter",
     "Histogram",
     "StatSet",
+    "ns_to_ps",
+    "ps_to_ns",
 ]

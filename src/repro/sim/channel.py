@@ -47,6 +47,9 @@ class Channel:
         self._items: Deque[Tuple[float, Any]] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[Event] = deque()
+        # Waiter-event names, precomputed once instead of per blocked call.
+        self._get_wait_name = f"{name}.get-wait"
+        self._put_wait_name = f"{name}.put-wait"
 
     def __len__(self) -> int:
         return len(self._items)
@@ -80,7 +83,7 @@ class Channel:
     # ------------------------------------------------------------------ #
     def put(self, item: Any) -> Generator[Any, Any, None]:
         while self.is_full:
-            waiter = self.sim.event(f"{self.name}.put-wait")
+            waiter = Event(self.sim, self._put_wait_name)
             self._putters.append(waiter)
             yield waiter
         self._items.append((self.sim.now + self.latency_ns, item))
@@ -88,7 +91,7 @@ class Channel:
 
     def get(self) -> Generator[Any, Any, Any]:
         while not self._items:
-            waiter = self.sim.event(f"{self.name}.get-wait")
+            waiter = Event(self.sim, self._get_wait_name)
             self._getters.append(waiter)
             yield waiter
         ready_at, item = self._items.popleft()
@@ -143,6 +146,8 @@ class AsyncFifo:
         self._items: Deque[Tuple[float, Any]] = deque()  # (visible_time, item)
         self._getters: Deque[Event] = deque()
         self._putters: Deque[Event] = deque()
+        self._get_wait_name = f"{name}.get-wait"
+        self._put_wait_name = f"{name}.put-wait"
         self.total_pushed = 0
         self.total_popped = 0
 
@@ -169,7 +174,7 @@ class AsyncFifo:
         # Align to the push-domain edge on which the write is committed.
         yield self.push_domain.align()
         while self.is_full:
-            waiter = self.sim.event(f"{self.name}.put-wait")
+            waiter = Event(self.sim, self._put_wait_name)
             self._putters.append(waiter)
             yield waiter
             yield self.push_domain.align()
@@ -199,7 +204,7 @@ class AsyncFifo:
         """Pop the oldest item; blocks until one is visible in the pop domain."""
         while True:
             while not self._items:
-                waiter = self.sim.event(f"{self.name}.get-wait")
+                waiter = Event(self.sim, self._get_wait_name)
                 self._getters.append(waiter)
                 yield waiter
             visible_time, item = self._items[0]

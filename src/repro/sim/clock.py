@@ -21,7 +21,7 @@ _EDGE_EPSILON = 1e-9
 class ClockDomain:
     """A periodic clock with a frequency in MHz and an optional phase offset."""
 
-    __slots__ = ("sim", "name", "_freq_mhz", "phase_ns")
+    __slots__ = ("sim", "name", "_freq_mhz", "_period_ns", "phase_ns")
 
     def __init__(
         self,
@@ -35,6 +35,7 @@ class ClockDomain:
         self.sim = sim
         self.name = name
         self._freq_mhz = float(freq_mhz)
+        self._period_ns = 1000.0 / self._freq_mhz
         self.phase_ns = phase_ns
 
     # ------------------------------------------------------------------ #
@@ -50,6 +51,7 @@ class ClockDomain:
         if value <= 0:
             raise SimulationError(f"clock frequency must be positive, got {value}")
         self._freq_mhz = float(value)
+        self._period_ns = 1000.0 / self._freq_mhz
 
     @property
     def freq_ghz(self) -> float:
@@ -57,7 +59,8 @@ class ClockDomain:
 
     @property
     def period_ns(self) -> float:
-        return 1000.0 / self._freq_mhz
+        """Cached clock period (recomputed only when the clock is retuned)."""
+        return self._period_ns
 
     def cycles_to_ns(self, cycles: float) -> float:
         """Duration of ``cycles`` clock cycles in nanoseconds."""
@@ -74,24 +77,26 @@ class ClockDomain:
         """Absolute time of the first rising edge strictly after ``at``."""
         if at is None:
             at = self.sim.now
-        period = self.period_ns
-        ticks = math.floor((at - self.phase_ns) / period + _EDGE_EPSILON) + 1
-        return self.phase_ns + ticks * period
+        period = self._period_ns
+        phase = self.phase_ns
+        ticks = math.floor((at - phase) / period + _EDGE_EPSILON) + 1
+        return phase + ticks * period
 
     def edge_after(self, at: Optional[float] = None, cycles: int = 1) -> float:
         """Absolute time of the ``cycles``-th rising edge strictly after ``at``."""
         if cycles < 1:
             raise SimulationError(f"cycles must be >= 1, got {cycles}")
         first = self.next_edge(at)
-        return first + (cycles - 1) * self.period_ns
+        return first + (cycles - 1) * self._period_ns
 
     # ------------------------------------------------------------------ #
     # Process commands
     # ------------------------------------------------------------------ #
     def wait_cycles(self, cycles: int = 1) -> Delay:
         """Command: suspend until the ``cycles``-th rising edge after now."""
-        target = self.edge_after(self.sim.now, cycles)
-        return Delay(max(0.0, target - self.sim.now))
+        now = self.sim.now
+        target = self.edge_after(now, cycles)
+        return Delay(max(0.0, target - now))
 
     def align(self) -> Delay:
         """Command: suspend until the next rising edge (one-cycle alignment)."""
