@@ -154,7 +154,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
         ))
         print(f"wrote {out_path}", file=sys.stderr)
     if baseline is not None:
-        gates = tuple(args.gate or ("kernel_events_per_sec",))
+        gates = tuple(args.gate or perf.DEFAULT_GATES)
         comparisons = perf.compare_reports(
             report, baseline, tolerance=args.max_regression, gates=gates)
         # Comparison chatter goes to stderr in --json mode so stdout stays
@@ -253,7 +253,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--gate", action="append",
                         default=None, metavar="BENCH",
                         help="benchmark name that fails the run on regression "
-                             "(repeatable; default: kernel_events_per_sec)")
+                             "(repeatable; default: kernel_events_per_sec and "
+                             "noc_messages_per_sec)")
     p_perf.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     p_perf.set_defaults(func=cmd_perf)

@@ -40,6 +40,7 @@ from repro.analysis.experiments import (
 )
 from repro.api.spec import ExperimentSpec, Rows
 from repro.fpga.synthesis import SynthesisModel
+from repro.noc.topology import TOPOLOGY_KINDS
 from repro.platform.area import TABLE1_ROWS, AreaModel
 from repro.platform.config import SystemKind
 from repro.sim.stats import geometric_mean
@@ -302,6 +303,35 @@ def fig12_summary(rows: Rows) -> Dict[str, Any]:
 )
 def fig12_cell(benchmark: str, seed: int = DEFAULT_SEED) -> Rows:
     return [fig12_row(_APP_BY_LABEL[benchmark], seed=seed)]
+
+
+# --------------------------------------------------------------------------- #
+# NoC scaling sweep: topology x size x injection rate
+# --------------------------------------------------------------------------- #
+@register_experiment(
+    name="noc_scaling",
+    title="NoC Scaling — Topology x Size x Injection Rate",
+    description="Uniform-random traffic over every NoC topology: delivered "
+                "throughput, latency percentiles and link-wait time in "
+                "simulated time (see docs/noc.md).",
+    grid={"topology": tuple(sorted(TOPOLOGY_KINDS)),
+          "size": (4, 8),
+          "injection_rate": (0.02, 0.1)},
+    fixed={"messages_per_node": 25, "payload_bytes": 16, "seed": DEFAULT_SEED},
+    tags=("noc", "sweep", "synthetic"),
+)
+def noc_scaling_cell(topology: str, size: int, injection_rate: float,
+                     messages_per_node: int = 25, payload_bytes: int = 16,
+                     seed: int = DEFAULT_SEED) -> Rows:
+    from repro.workloads.noc_traffic import run_uniform_traffic
+
+    result = run_uniform_traffic(
+        topology, size, injection_rate,
+        messages_per_node=messages_per_node,
+        payload_bytes=payload_bytes,
+        seed=seed,
+    )
+    return [result.as_row()]
 
 
 # --------------------------------------------------------------------------- #

@@ -4,20 +4,41 @@ Dolly (Sec. IV of the paper) is built on the OpenPiton P-Mesh NoC: a 2D mesh
 with XY routing, three physical planes (request / forward-response / data in
 the original), and point-to-point ordered delivery — a property the Proxy
 Cache's no-acknowledgement protocol explicitly relies on.  This package
-provides a transaction-level model of that network: deterministic XY routes,
-per-link serialization for contention, per-plane resources, and in-order
-delivery between any (source, destination) pair.
+provides a transaction-level model of that network: deterministic routes,
+batched per-link reservation for contention, per-plane resources, and
+in-order delivery between any (source, destination) pair.
+
+The fabric is pluggable: :class:`NocNetwork` routes over any
+:class:`~repro.noc.topology.Topology` (``mesh`` — the paper's P-Mesh —
+``torus``, ``ring`` or ``crossbar``), selected per system via
+``DollyConfig.noc_topology`` or built directly with :func:`make_topology`.
+See ``docs/noc.md`` for the topology gallery and the model's invariants.
 """
 
 from repro.noc.message import NocMessage, MessagePlane
-from repro.noc.topology import Mesh2D
-from repro.noc.network import MeshNetwork, NocEndpoint
+from repro.noc.topology import (
+    TOPOLOGY_KINDS,
+    Crossbar,
+    Mesh2D,
+    Ring,
+    Topology,
+    Torus2D,
+    make_topology,
+)
+from repro.noc.network import MeshNetwork, NocNetwork, NocEndpoint
 from repro.noc.port import NocPort, TileRouter
 
 __all__ = [
     "NocMessage",
     "MessagePlane",
+    "Topology",
+    "TOPOLOGY_KINDS",
     "Mesh2D",
+    "Torus2D",
+    "Ring",
+    "Crossbar",
+    "make_topology",
+    "NocNetwork",
     "MeshNetwork",
     "NocEndpoint",
     "NocPort",

@@ -1,20 +1,36 @@
-"""Transaction-level mesh network with per-link contention.
+"""Transaction-level NoC with per-link contention and batched reservation.
 
 Each directed link carries one flit per NoC cycle and serves messages in
-arrival order; each of the three planes has its own set of link resources.
-A message of ``F`` flits crossing ``H`` hops therefore takes roughly
-``H * (router_latency + F)`` cycles when the network is idle, and longer
-under contention — enough fidelity for the bandwidth and scalability studies
-of Sec. V-C without simulating individual flits.
+reservation order; each of the three planes has its own set of link
+resources.  A message of ``F`` flits crossing ``H`` hops therefore takes
+roughly ``H * (router_latency + F)`` cycles when the network is idle, and
+longer under contention — enough fidelity for the bandwidth and scalability
+studies of Sec. V-C without simulating individual flits.
+
+**Batched link reservation.**  Injection reserves the *whole route* in one
+pass: every hop's start and finish is computed arithmetically against the
+per-link ``_link_free_at`` table at injection time, and a single delivery
+callback is scheduled at the final finish instant.  Compared to the seed's
+per-hop generator loop this eliminates ``H`` process resumptions and ``H``
+heap operations per message (one process, one alignment delay and ``H``
+timed delays collapse into one ``schedule_at``).  The per-hop float
+arithmetic is mirrored operation for operation — ``t = t + ((start +
+transfer) - t)`` exactly as the kernel advanced the old transfer process —
+so delivery times are bit-identical to the per-hop model (guarded by the
+golden test in ``tests/test_noc_topologies.py``); the scheduled delivery
+lands on the same integer-picosecond heap key the per-hop version produced.
+Reservations happen in ``send()`` call order, which is the same order the
+seed's transfer processes started in, so per-link FIFO order is preserved.
+See ``docs/noc.md`` for the contention model and its invariants.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.noc.message import MessagePlane, NocMessage
-from repro.noc.topology import Mesh2D
-from repro.sim import ClockDomain, Delay, Event, Simulator, StatSet
+from repro.noc.topology import Mesh2D, Topology, make_topology
+from repro.sim import ClockDomain, Event, Simulator, StatSet
 
 #: Signature of an endpoint's message handler.
 MessageHandler = Callable[[NocMessage], None]
@@ -27,28 +43,37 @@ class NocEndpoint:
         raise NotImplementedError
 
 
-class MeshNetwork:
-    """A 2D-mesh NoC in the system (fast) clock domain.
+class NocNetwork:
+    """A NoC over any :class:`~repro.noc.topology.Topology`, in the system
+    (fast) clock domain.
 
-    Endpoints attach a handler per node; :meth:`send` injects a message and
-    returns an :class:`Event` that fires at delivery time (most senders
-    ignore it).  Delivery calls the destination handler synchronously at the
-    delivery instant, so handlers should only enqueue work or spawn
-    processes, never block.
+    ``topology`` may be a ready :class:`Topology` instance, a kind string
+    (``"mesh"``, ``"torus"``, ``"ring"``, ``"crossbar"`` — built over
+    ``width`` x ``height`` nodes via :func:`make_topology`), or omitted
+    entirely for the default 2D mesh.  Endpoints attach a handler per node;
+    :meth:`send` injects a message and returns an :class:`Event` that fires
+    at delivery time (most senders ignore it).  Delivery calls the
+    destination handler synchronously at the delivery instant, so handlers
+    should only enqueue work or spawn processes, never block.
     """
 
     def __init__(
         self,
         sim: Simulator,
         domain: ClockDomain,
-        width: int,
-        height: int,
+        width: Optional[int] = None,
+        height: Optional[int] = None,
         router_latency_cycles: int = 1,
         name: str = "noc",
+        topology: Union[Topology, str, None] = None,
     ) -> None:
         self.sim = sim
         self.domain = domain
-        self.topology = Mesh2D(width, height)
+        if topology is None or isinstance(topology, str):
+            if width is None or height is None:
+                raise ValueError("width and height are required without a Topology instance")
+            topology = make_topology(topology or Mesh2D.kind, width, height)
+        self.topology = topology
         self.router_latency_cycles = router_latency_cycles
         self.name = name
         self._handlers: Dict[int, MessageHandler] = {}
@@ -60,6 +85,9 @@ class MeshNetwork:
         self._flits_sent = self.stats.counter("flits_sent")
         self._link_wait_ns = self.stats.histogram("link_wait_ns")
         self._message_latency_ns = self.stats.histogram("message_latency_ns")
+        # Pre-bound delivery callback: one bound method for the network's
+        # lifetime instead of one per send.
+        self._deliver_bound = self._deliver
 
     # ------------------------------------------------------------------ #
     # Endpoint management
@@ -78,43 +106,62 @@ class MeshNetwork:
     # Message injection
     # ------------------------------------------------------------------ #
     def send(self, message: NocMessage) -> Event:
-        """Inject ``message``; returns an event fired at delivery."""
+        """Inject ``message``; returns an event fired at delivery.
+
+        The whole route is reserved here, at injection: each hop's start is
+        the later of the message's arrival at that hop and the link's
+        ``_link_free_at`` entry, each hop's finish extends the link's busy
+        window, and one delivery callback is scheduled at the final finish.
+        The float arithmetic below intentionally mirrors the retired
+        per-hop generator loop step for step (``t + (delay)`` rather than
+        the algebraically-equal running sum) so delivery instants stay
+        bit-identical to the seed mesh behaviour.
+        """
         if message.dst not in self._handlers:
             raise ValueError(f"no handler attached at destination node {message.dst}")
-        delivered = Event(self.sim, "delivered")
-        message.stamp("injected", self.sim.now)
+        sim = self.sim
+        delivered = Event(sim, "delivered")
+        now = sim.now
+        message.stamp("injected", now)
         self._messages_sent.value += 1
         self._flits_sent.value += message.flits
-        self.sim.process(self._transfer(message, delivered), name="noc-xfer")
-        return delivered
-
-    def _transfer(self, message: NocMessage, delivered: Event):
-        sim = self.sim
-        cycle = self.domain.period_ns
-        link_free_at = self._link_free_at
-        route = self.topology.route(message.src, message.dst)
         # Injection is aligned to the NoC clock even for local (same-tile)
         # delivery: the endpoint's NoC interface still clocks the packet in.
-        yield self.domain.align()
+        domain = self.domain
+        target = domain.edge_after(now, 1)
+        align_delay = target - now
+        t = now if align_delay <= 0.0 else now + align_delay
+        cycle = domain.period_ns
         transfer_ns = (self.router_latency_cycles + message.flits) * cycle
-        plane = int(message.plane)
-        for src, dst in route:
-            key = (plane, src, dst)
-            # Reserve the link in arrival order: the message occupies the link
-            # from the later of "now" and "link free", for its serialization
-            # time.  Reserving before waiting keeps per-link FIFO order even
-            # when many messages are queued behind the same link.
-            now = sim.now
-            start = link_free_at.get(key, 0.0)
-            if start > now:
-                self._link_wait_ns.record(start - now)
-            else:
-                start = now
-            link_free_at[key] = start + transfer_ns
-            yield Delay(start + transfer_ns - now)
-        if not route:
+        route = self.topology.route(message.src, message.dst)
+        if route:
+            plane = int(message.plane)
+            link_free_at = self._link_free_at
+            record_wait = self._link_wait_ns.record
+            for src, dst in route:
+                key = (plane, src, dst)
+                # Reserve the link in injection order: the message occupies
+                # the link from the later of its arrival and "link free",
+                # for its serialization time.  Injection order equals the
+                # order the seed's transfer processes started in, keeping
+                # per-link FIFO order identical.
+                start = link_free_at.get(key, 0.0)
+                if start > t:
+                    record_wait(start - t)
+                else:
+                    start = t
+                end = start + transfer_ns
+                link_free_at[key] = end
+                t = t + (end - t)
+        else:
             # Local delivery still pays one router traversal.
-            yield Delay(self.router_latency_cycles * cycle)
+            t = t + self.router_latency_cycles * cycle
+        sim.schedule_at(t, self._deliver_bound, (message, delivered))
+        return delivered
+
+    def _deliver(self, pair: Tuple[NocMessage, Event]) -> None:
+        message, delivered = pair
+        sim = self.sim
         message.stamp("delivered", sim.now)
         self._message_latency_ns.record(message.noc_latency())
         handler = self._handlers.get(message.dst)
@@ -131,7 +178,17 @@ class MeshNetwork:
         return self.topology.node_count
 
     def mean_latency_ns(self) -> float:
-        return self.stats.histogram("message_latency_ns").mean
+        """Mean in-network latency over all delivered messages (0.0 if none).
+
+        Reuses the pre-resolved ``message_latency_ns`` histogram rather
+        than re-looking it up through the :class:`StatSet` on every call.
+        """
+        histogram = self._message_latency_ns
+        return histogram.mean if histogram.count else 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<MeshNetwork {self.topology.width}x{self.topology.height} @{self.domain.freq_mhz}MHz>"
+        return f"<NocNetwork {self.topology!r} @{self.domain.freq_mhz}MHz>"
+
+
+#: Backwards-compatible alias — the seed's mesh-only network class.
+MeshNetwork = NocNetwork

@@ -13,14 +13,14 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.noc.message import MessagePlane, NocMessage
-from repro.noc.network import MeshNetwork
+from repro.noc.network import NocNetwork
 from repro.sim import Event
 
 
 class TileRouter:
-    """Demultiplexes packets arriving at one mesh node onto local components."""
+    """Demultiplexes packets arriving at one NoC node onto local components."""
 
-    def __init__(self, network: MeshNetwork, node: int) -> None:
+    def __init__(self, network: NocNetwork, node: int) -> None:
         self.network = network
         self.node = node
         self._targets: Dict[str, Callable[[NocMessage], None]] = {}
@@ -50,7 +50,7 @@ class TileRouter:
 class NocPort:
     """A component's handle for sending NoC messages from a fixed (node, target)."""
 
-    def __init__(self, network: MeshNetwork, node: int, target: str) -> None:
+    def __init__(self, network: NocNetwork, node: int, target: str) -> None:
         self.network = network
         self.node = node
         self.target = target

@@ -6,6 +6,7 @@ given ``--baseline`` — fails on gated regressions.  See
 """
 
 from repro.perf.harness import (
+    DEFAULT_GATES,
     DEFAULT_TOLERANCE,
     SCHEMA,
     BenchSpec,
@@ -64,6 +65,34 @@ SUITE = [
         unit="messages/s",
         params={"messages": 2_000},
     ),
+    # The gated NoC number: serialized messages across the 8x8 mesh
+    # diagonal (14 hops), the configuration the batched link reservation
+    # was sized against.  The per-topology variants below track the same
+    # workload on the other fabrics (informational).
+    BenchSpec(
+        name="noc_messages_per_sec",
+        fn=micro.noc_message_throughput,
+        unit="messages/s",
+        params={"messages": 2_000, "width": 8, "height": 8, "topology": "mesh"},
+    ),
+    BenchSpec(
+        name="noc_messages_per_sec_torus",
+        fn=micro.noc_message_throughput,
+        unit="messages/s",
+        params={"messages": 2_000, "width": 8, "height": 8, "topology": "torus"},
+    ),
+    BenchSpec(
+        name="noc_messages_per_sec_ring",
+        fn=micro.noc_message_throughput,
+        unit="messages/s",
+        params={"messages": 2_000, "width": 8, "height": 8, "topology": "ring"},
+    ),
+    BenchSpec(
+        name="noc_messages_per_sec_crossbar",
+        fn=micro.noc_message_throughput,
+        unit="messages/s",
+        params={"messages": 2_000, "width": 8, "height": 8, "topology": "crossbar"},
+    ),
     BenchSpec(
         name="fig9_wall_seconds",
         fn=endtoend.fig9_wall_seconds,
@@ -89,6 +118,7 @@ __all__ = [
     "SUITE",
     "BenchSpec",
     "Comparison",
+    "DEFAULT_GATES",
     "DEFAULT_TOLERANCE",
     "SCHEMA",
     "compare_reports",

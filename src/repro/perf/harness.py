@@ -28,6 +28,10 @@ SCHEMA = "duet-repro/bench-kernel/v1"
 #: Default regression tolerance (fraction of the baseline value).
 DEFAULT_TOLERANCE = 0.2
 
+#: Benchmarks that fail a gated comparison when they regress: the kernel
+#: headline number plus the batched-NoC 8x8 mesh microbenchmark.
+DEFAULT_GATES = ("kernel_events_per_sec", "noc_messages_per_sec")
+
 
 @dataclass
 class BenchSpec:
@@ -144,7 +148,7 @@ class Comparison:
 
 def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
                     tolerance: float = DEFAULT_TOLERANCE,
-                    gates: Sequence[str] = ("kernel_events_per_sec",)) -> List[Comparison]:
+                    gates: Sequence[str] = DEFAULT_GATES) -> List[Comparison]:
     """Compare two reports benchmark-by-benchmark.
 
     ``ratio`` is normalized so that > 1 is always an improvement.  When

@@ -10,6 +10,7 @@ from repro.core.adapter import AdapterConfig
 from repro.core.memory_hub import MODE_DUET, MODE_FPSOC
 from repro.cpu.core import CoreConfig
 from repro.mem.config import MemoryConfig
+from repro.noc.topology import TOPOLOGY_KINDS
 
 
 class SystemKind(enum.Enum):
@@ -32,6 +33,9 @@ class DollyConfig:
     The processors and the hardware cache system run at ``system_mhz``
     (1 GHz in the evaluation, Sec. V-A); the eFPGA clock is set per
     experiment, bounded by the installed accelerator's Fmax.
+    ``noc_topology`` selects the interconnect fabric: ``"mesh"`` (the
+    paper's P-Mesh, the default), ``"torus"``, ``"ring"`` or ``"crossbar"``
+    — see ``docs/noc.md`` for the trade-offs.
     """
 
     num_processors: int = 1
@@ -41,6 +45,7 @@ class DollyConfig:
     fpga_mhz: Optional[float] = None
     sync_stages: int = 2
     scratchpad_bytes: int = 8192
+    noc_topology: str = "mesh"
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     core: CoreConfig = field(default_factory=CoreConfig)
 
@@ -51,6 +56,11 @@ class DollyConfig:
             raise ValueError("the number of memory hubs cannot be negative")
         if self.kind is SystemKind.CPU_ONLY and self.num_memory_hubs:
             raise ValueError("a processor-only system has no memory hubs")
+        if self.noc_topology not in TOPOLOGY_KINDS:
+            known = ", ".join(sorted(TOPOLOGY_KINDS))
+            raise ValueError(
+                f"unknown NoC topology {self.noc_topology!r}; known kinds: {known}"
+            )
 
     # ------------------------------------------------------------------ #
     # Naming and layout helpers

@@ -16,7 +16,7 @@ from repro.mem.directory import DirectoryShard
 from repro.mem.dram import MainMemory
 from repro.mem.private_cache import PrivateCacheAgent
 from repro.mem.protocol import CoherenceState
-from repro.noc import MeshNetwork, TileRouter
+from repro.noc import NocNetwork, TileRouter
 from repro.platform.config import DollyConfig, SystemKind
 from repro.platform.tiles import TilePlan, TileRole
 from repro.sim import ClockDomain, Process, SimulationError, Simulator
@@ -33,7 +33,7 @@ class DollySystem:
     plan: TilePlan
     sim: Simulator
     sys_clock: ClockDomain
-    network: MeshNetwork
+    network: NocNetwork
     memory: MainMemory
     address_map: AddressMap
     mmio_map: MmioMap
@@ -155,7 +155,7 @@ def build_system(config: DollyConfig) -> DollySystem:
     plan = TilePlan.plan(config)
     sim = Simulator()
     sys_clock = ClockDomain(sim, config.system_mhz, "sys")
-    network = MeshNetwork(sim, sys_clock, plan.width, plan.height)
+    network = NocNetwork(sim, sys_clock, topology=plan.topology())
     memory = MainMemory(config.memory)
     all_tiles = plan.all_tiles
     address_map = AddressMap(config.memory, home_tiles=all_tiles)

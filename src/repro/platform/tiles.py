@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.noc.topology import TOPOLOGY_KINDS, Topology, make_topology
 from repro.platform.config import DollyConfig, SystemKind
 
 
@@ -56,14 +57,27 @@ class TilePlan:
     def all_tiles(self) -> List[int]:
         return list(range(self.width * self.height))
 
+    def topology(self) -> Topology:
+        """Build the NoC topology this plan was laid out for."""
+        return make_topology(self.config.noc_topology, self.width, self.height)
+
     @classmethod
     def plan(cls, config: DollyConfig) -> "TilePlan":
-        """Lay out ``config`` on the smallest near-square mesh."""
+        """Lay out ``config`` on the smallest grid that fits its topology.
+
+        Grid fabrics (mesh, torus) use the smallest near-square grid; flat
+        fabrics (ring, crossbar) lay every tile out in a single row, so no
+        filler tiles are needed and node ids match ring positions.
+        """
         tiles_needed = config.num_tiles
-        width = max(1, math.isqrt(tiles_needed))
-        if width * width < tiles_needed:
-            width += 1
-        height = math.ceil(tiles_needed / width)
+        if not TOPOLOGY_KINDS[config.noc_topology].is_grid:
+            width = tiles_needed
+            height = 1
+        else:
+            width = max(1, math.isqrt(tiles_needed))
+            if width * width < tiles_needed:
+                width += 1
+            height = math.ceil(tiles_needed / width)
         roles: Dict[int, TileRole] = {}
         node = 0
         for _ in range(config.num_processors):

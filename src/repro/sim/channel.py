@@ -148,6 +148,12 @@ class AsyncFifo:
         self._putters: Deque[Event] = deque()
         self._get_wait_name = f"{name}.get-wait"
         self._put_wait_name = f"{name}.put-wait"
+        # (commit_time, period, phase, visible): memo of the last visibility
+        # computation.  Producers that commit several items on the same
+        # push-domain edge (a burst) resolve the pop-domain alignment once;
+        # everything else goes through the per-domain edge cache in
+        # ClockDomain.next_edge instead of recomputing the floor-division.
+        self._visible_cache = (-1.0, 0.0, 0.0, 0.0)
         self.total_pushed = 0
         self.total_popped = 0
 
@@ -164,7 +170,15 @@ class AsyncFifo:
 
     def _visible_time(self, commit_time: float) -> float:
         """When an item committed at ``commit_time`` becomes pop-visible."""
-        return self.pop_domain.edge_after(commit_time, self.sync_stages)
+        pop_domain = self.pop_domain
+        cache = self._visible_cache
+        if (cache[0] == commit_time and cache[1] == pop_domain.period_ns
+                and cache[2] == pop_domain.phase_ns):
+            return cache[3]
+        visible = pop_domain.edge_after(commit_time, self.sync_stages)
+        self._visible_cache = (commit_time, pop_domain.period_ns,
+                               pop_domain.phase_ns, visible)
+        return visible
 
     # ------------------------------------------------------------------ #
     # Producer side

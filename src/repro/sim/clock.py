@@ -21,7 +21,7 @@ _EDGE_EPSILON = 1e-9
 class ClockDomain:
     """A periodic clock with a frequency in MHz and an optional phase offset."""
 
-    __slots__ = ("sim", "name", "_freq_mhz", "_period_ns", "phase_ns")
+    __slots__ = ("sim", "name", "_freq_mhz", "_period_ns", "_phase_ns", "_edge_cache")
 
     def __init__(
         self,
@@ -36,7 +36,10 @@ class ClockDomain:
         self.name = name
         self._freq_mhz = float(freq_mhz)
         self._period_ns = 1000.0 / self._freq_mhz
-        self.phase_ns = phase_ns
+        self._phase_ns = phase_ns
+        # (window_lo, window_hi, edge): the next-edge result for any query
+        # strictly inside (window_lo, window_hi).  Invalidated on retune.
+        self._edge_cache = (0.0, 0.0, 0.0)
 
     # ------------------------------------------------------------------ #
     # Static properties
@@ -52,10 +55,20 @@ class ClockDomain:
             raise SimulationError(f"clock frequency must be positive, got {value}")
         self._freq_mhz = float(value)
         self._period_ns = 1000.0 / self._freq_mhz
+        self._edge_cache = (0.0, 0.0, 0.0)
 
     @property
     def freq_ghz(self) -> float:
         return self._freq_mhz / 1000.0
+
+    @property
+    def phase_ns(self) -> float:
+        return self._phase_ns
+
+    @phase_ns.setter
+    def phase_ns(self, value: float) -> None:
+        self._phase_ns = value
+        self._edge_cache = (0.0, 0.0, 0.0)
 
     @property
     def period_ns(self) -> float:
@@ -74,13 +87,31 @@ class ClockDomain:
     # Edge arithmetic
     # ------------------------------------------------------------------ #
     def next_edge(self, at: Optional[float] = None) -> float:
-        """Absolute time of the first rising edge strictly after ``at``."""
+        """Absolute time of the first rising edge strictly after ``at``.
+
+        The last answer is cached per domain with a conservative validity
+        window: any query strictly inside the same clock period (away from
+        the edges by a guard margin) reuses the cached edge instead of
+        paying the floor-division — components that align repeatedly within
+        one cycle (FIFO pushes, NoC injections) hit the cache.  Queries
+        near a period boundary recompute exactly, so cached and uncached
+        answers are always bit-identical.
+        """
         if at is None:
             at = self.sim.now
+        cache = self._edge_cache
+        if cache[0] < at < cache[1]:
+            return cache[2]
         period = self._period_ns
-        phase = self.phase_ns
+        phase = self._phase_ns
         ticks = math.floor((at - phase) / period + _EDGE_EPSILON) + 1
-        return phase + ticks * period
+        first = phase + ticks * period
+        # The exact validity region is [first - (1+eps)*period, first -
+        # eps*period); a generous guard keeps the cached window well inside
+        # it despite float rounding of the division above.
+        guard = period * 1e-6
+        self._edge_cache = (first - period + guard, first - guard, first)
+        return first
 
     def edge_after(self, at: Optional[float] = None, cycles: int = 1) -> float:
         """Absolute time of the ``cycles``-th rising edge strictly after ``at``."""

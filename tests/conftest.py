@@ -26,10 +26,11 @@ class MiniSystem:
     extra: Dict = field(default_factory=dict)
 
 
-def build_mini_system(width=2, height=2, num_agents=2, freq_mhz=1000.0, config=None) -> MiniSystem:
+def build_mini_system(width=2, height=2, num_agents=2, freq_mhz=1000.0, config=None,
+                      topology=None) -> MiniSystem:
     sim = Simulator()
     clock = ClockDomain(sim, freq_mhz, "sys")
-    network = MeshNetwork(sim, clock, width, height)
+    network = MeshNetwork(sim, clock, width, height, topology=topology)
     config = config or MemoryConfig()
     memory = MainMemory(config)
     tiles = list(range(width * height))

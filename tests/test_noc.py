@@ -27,12 +27,12 @@ def test_mesh_hop_count_is_manhattan_distance():
 def test_mesh_route_is_xy_ordered():
     mesh = Mesh2D(3, 3)
     route = mesh.route(0, 8)  # (0,0) -> (2,2)
-    assert route == [(0, 1), (1, 2), (2, 5), (5, 8)]
+    assert route == ((0, 1), (1, 2), (2, 5), (5, 8))
 
 
 def test_mesh_route_empty_for_same_node():
     mesh = Mesh2D(2, 2)
-    assert mesh.route(3, 3) == []
+    assert mesh.route(3, 3) == ()
 
 
 def test_mesh_rejects_bad_nodes_and_dims():

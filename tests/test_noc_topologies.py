@@ -1,0 +1,429 @@
+"""Pluggable-topology and batched-reservation tests for the NoC.
+
+Three layers:
+
+* routing-contract property tests — every topology must produce routes
+  whose length equals ``hop_count``, that are contiguous, neighbour-valid
+  and deterministic;
+* network invariants on every fabric — per-link FIFO order under
+  contention, delivery on every topology, platform plumbing;
+* the batched-reservation golden test — delivery times on the mesh must be
+  bit-identical to the seed's per-hop generator loop for single-source
+  traffic (the recording in ``tests/data/noc_golden_mesh.json`` was made
+  with the seed implementation; see docs/noc.md for the model's
+  equivalence domain).
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import (
+    TOPOLOGY_KINDS,
+    Crossbar,
+    Mesh2D,
+    MessagePlane,
+    MeshNetwork,
+    NocMessage,
+    NocNetwork,
+    Ring,
+    Torus2D,
+    make_topology,
+)
+from repro.sim import ClockDomain, Delay, Simulator
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+ALL_KINDS = tuple(sorted(TOPOLOGY_KINDS))
+
+
+# --------------------------------------------------------------------------- #
+# Routing contract (every topology)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ALL_KINDS)
+@given(
+    width=st.integers(min_value=1, max_value=5),
+    height=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_route_length_matches_hop_count_on_every_topology(kind, width, height, data):
+    topology = make_topology(kind, width, height)
+    src = data.draw(st.integers(min_value=0, max_value=topology.node_count - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=topology.node_count - 1))
+    route = topology.route(src, dst)
+    assert len(route) == topology.hop_count(src, dst)
+    # Contiguous, neighbour-valid, ends at dst.
+    current = src
+    for a, b in route:
+        assert a == current
+        assert b in topology.neighbors(a)
+        current = b
+    assert current == dst
+    if src == dst:
+        assert route == ()
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_routes_are_deterministic_and_cached(kind):
+    topology = make_topology(kind, 4, 4)
+    route_one = topology.route(1, topology.node_count - 1)
+    route_two = topology.route(1, topology.node_count - 1)
+    assert route_one == route_two
+    assert route_one is route_two  # cached, immutable
+    fresh = make_topology(kind, 4, 4)
+    assert fresh.route(1, fresh.node_count - 1) == route_one
+
+
+def test_torus_takes_the_wraparound_shortcut():
+    torus = Torus2D(4, 4)
+    mesh = Mesh2D(4, 4)
+    # (0,0) -> (3,0): 3 mesh hops, 1 torus hop around the seam.
+    assert mesh.hop_count(0, 3) == 3
+    assert torus.hop_count(0, 3) == 1
+    assert torus.route(0, 3) == ((0, 3),)
+    # The half-way tie on an even dimension breaks toward +x.
+    assert torus.route(0, 2) == ((0, 1), (1, 2))
+
+
+def test_ring_takes_the_shorter_direction():
+    ring = Ring(8)
+    assert ring.hop_count(0, 6) == 2
+    assert ring.route(0, 6) == ((0, 7), (7, 6))
+    assert ring.route(0, 3) == ((0, 1), (1, 2), (2, 3))
+    # The exact half-way tie goes forward.
+    assert ring.route(0, 4) == ((0, 1), (1, 2), (2, 3), (3, 4))
+
+
+def test_crossbar_is_single_hop():
+    xbar = Crossbar(9)
+    for dst in range(1, 9):
+        assert xbar.route(0, dst) == ((0, dst),)
+        assert xbar.hop_count(0, dst) == 1
+    assert xbar.route(4, 4) == ()
+    assert sorted(xbar.neighbors(3)) == [n for n in range(9) if n != 3]
+
+
+def test_make_topology_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        make_topology("hypercube", 4, 4)
+
+
+def test_topology_rejects_out_of_range_nodes():
+    for kind in ALL_KINDS:
+        topology = make_topology(kind, 3, 3)
+        with pytest.raises(ValueError):
+            topology.route(0, topology.node_count)
+        with pytest.raises(ValueError):
+            topology.hop_count(-1, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Network invariants on every fabric
+# --------------------------------------------------------------------------- #
+def _build_network(kind, width=4, height=4):
+    sim = Simulator()
+    clock = ClockDomain(sim, 1000.0, "sys")
+    network = NocNetwork(sim, clock, width, height, topology=kind)
+    for node in range(network.node_count):
+        network.attach(node, lambda message: None)
+    return sim, network
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_network_delivers_on_every_topology(kind):
+    sim, network = _build_network(kind)
+    far = network.node_count - 1
+    received = []
+    network.detach(far)
+    network.attach(far, received.append)
+    msg = NocMessage(src=0, dst=far, kind="ping")
+    done = network.send(msg)
+    sim.run()
+    assert received == [msg]
+    assert done.triggered
+    assert msg.timestamps["delivered"] > msg.timestamps["injected"]
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_per_link_fifo_order_under_contention(kind):
+    """Messages between the same (src, dst) pair arrive in injection order
+    even when the shared route is saturated."""
+    sim, network = _build_network(kind)
+    far = network.node_count - 1
+    received = []
+    network.detach(far)
+    network.attach(far, lambda m: received.append(m.meta["seq"]))
+
+    def sender():
+        for seq in range(30):
+            network.send(NocMessage(src=0, dst=far, kind="data",
+                                    size_bytes=16, meta={"seq": seq}))
+            if seq % 3 == 0:
+                yield Delay(0.4)
+        yield Delay(0.0)
+
+    sim.process(sender())
+    sim.run()
+    assert received == list(range(30))
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_contention_increases_latency_on_every_topology(kind):
+    def run(bursts):
+        sim, network = _build_network(kind)
+        far = network.node_count - 1
+        done = []
+        for _ in range(bursts):
+            for _ in range(10):
+                done.append(network.send(
+                    NocMessage(src=0, dst=far, kind="data", size_bytes=32)))
+        sim.run()
+        return max(event.value for event in done)
+
+    assert run(4) > run(1)
+
+
+def test_mesh_network_alias_still_works():
+    sim = Simulator()
+    clock = ClockDomain(sim, 1000.0)
+    network = MeshNetwork(sim, clock, 2, 2)
+    assert isinstance(network, NocNetwork)
+    assert network.topology.kind == "mesh"
+    assert network.node_count == 4
+
+
+def test_network_requires_dimensions_without_topology_instance():
+    sim = Simulator()
+    clock = ClockDomain(sim, 1000.0)
+    with pytest.raises(ValueError):
+        NocNetwork(sim, clock)
+    network = NocNetwork(sim, clock, topology=Ring(5))
+    assert network.node_count == 5
+
+
+def test_mean_latency_is_zero_with_no_messages_and_reuses_histogram():
+    sim, network = _build_network("mesh")
+    assert network.mean_latency_ns() == 0.0
+    network.send(NocMessage(src=0, dst=network.node_count - 1, kind="x"))
+    sim.run()
+    assert network.mean_latency_ns() > 0.0
+    assert network.mean_latency_ns() == network.stats.histogram("message_latency_ns").mean
+
+
+# --------------------------------------------------------------------------- #
+# Platform plumbing
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", ALL_KINDS)
+def test_dolly_config_selects_noc_topology(kind):
+    from repro.platform.config import DollyConfig
+    from repro.platform.dolly import build_system
+
+    system = build_system(DollyConfig.dolly(2, 1, noc_topology=kind))
+    assert system.network.topology.kind == kind
+    if kind in ("ring", "crossbar"):
+        assert system.plan.height == 1
+
+
+def test_dolly_config_rejects_unknown_topology():
+    from repro.platform.config import DollyConfig
+
+    with pytest.raises(ValueError):
+        DollyConfig.dolly(2, 1, noc_topology="moebius")
+
+
+@pytest.mark.parametrize("kind", ("torus", "ring", "crossbar"))
+def test_coherent_traffic_runs_on_alternate_fabrics(kind):
+    """The directory protocol's correctness must not depend on the mesh."""
+    from conftest import build_mini_system
+
+    system = build_mini_system(width=2, height=2, num_agents=2, topology=kind)
+    agent_zero, agent_one = system.agents[0], system.agents[1]
+
+    def writer():
+        yield from agent_zero.store(0x40, 123)
+        yield from agent_one.store(0x40, 456)
+        value = yield from agent_zero.load(0x40)
+        return value
+
+    assert system.sim.run_process(writer()) == 456
+
+
+# --------------------------------------------------------------------------- #
+# Batched reservation: golden equivalence with the seed per-hop model
+# --------------------------------------------------------------------------- #
+def _golden_network():
+    sim = Simulator()
+    clock = ClockDomain(sim, 1000.0, "sys")
+    network = NocNetwork(sim, clock, 4, 4)
+    for node in range(16):
+        network.attach(node, lambda m: None)
+    return sim, network
+
+
+def _record(network, records, seq, msg):
+    event = network.send(msg)
+    event.add_callback(
+        lambda _value, msg=msg, seq=seq: records.append(
+            [seq, msg.timestamps["injected"], msg.timestamps["delivered"]]))
+
+
+def _scenario_stream():
+    sim, network = _golden_network()
+    records = []
+    seq = 0
+
+    def sender():
+        nonlocal seq
+        for _burst in range(8):
+            for index in range(5):
+                msg = NocMessage(src=0, dst=15, kind="w", size_bytes=8 * (index % 4))
+                _record(network, records, seq, msg)
+                seq += 1
+            yield Delay(3.7)
+
+    sim.process(sender())
+    sim.run()
+    return records
+
+
+def _scenario_pingpong():
+    sim, network = _golden_network()
+    records = []
+
+    def driver():
+        seq = 0
+        for _ in range(20):
+            req = NocMessage(src=0, dst=15, kind="req", size_bytes=0,
+                             plane=MessagePlane.REQUEST)
+            _record(network, records, seq, req)
+            seq += 1
+            yield network.send(NocMessage(src=0, dst=15, kind="pad"))
+            resp = NocMessage(src=15, dst=0, kind="resp", size_bytes=16,
+                              plane=MessagePlane.RESPONSE)
+            _record(network, records, seq, resp)
+            seq += 1
+            yield Delay(1.3)
+
+    sim.process(driver())
+    sim.run()
+    return records
+
+
+def _scenario_fanout():
+    sim, network = _golden_network()
+    records = []
+
+    def sender():
+        seq = 0
+        for _round in range(6):
+            for dst in range(16):
+                msg = NocMessage(src=5, dst=dst, kind="f", size_bytes=8 * (dst % 3))
+                _record(network, records, seq, msg)
+                seq += 1
+            yield Delay(2.0)
+
+    sim.process(sender())
+    sim.run()
+    return records
+
+
+def _scenario_merge_batched():
+    """Cross-source merge traffic — pins the *batched* model's behaviour.
+
+    Unlike the seed-recorded scenarios above, this recording was made with
+    the batched implementation itself: where routes from different sources
+    merge, injection-order reservation legitimately differs from the seed's
+    per-hop arrival order (docs/noc.md documents the refinement, and the
+    fig11/fig12 aggregates shifted by well under a percent when it landed).
+    Pinning it keeps future NoC changes from silently moving the contended
+    regime the way this PR deliberately did.
+    """
+    sim = Simulator()
+    clock = ClockDomain(sim, 1000.0, "sys")
+    network = NocNetwork(sim, clock, 4, 1)
+    for node in range(4):
+        network.attach(node, lambda m: None)
+    records = []
+    seq_box = [0]
+
+    def sender(src, count, gap):
+        for _ in range(count):
+            msg = NocMessage(src=src, dst=3, kind="m", size_bytes=16)
+            _record(network, records, seq_box[0], msg)
+            seq_box[0] += 1
+            yield Delay(gap)
+
+    sim.process(sender(0, 20, 1.0))
+    sim.process(sender(1, 20, 1.5))
+    sim.process(sender(2, 20, 0.7))
+    sim.run()
+    return records
+
+
+#: Scenarios recorded with the seed's per-hop loop (bit-identity required).
+_SEED_GOLDEN_SCENARIOS = {
+    "stream": _scenario_stream,
+    "pingpong": _scenario_pingpong,
+    "fanout": _scenario_fanout,
+}
+
+#: Scenarios recorded with the batched model (regression pin, see above).
+_BATCHED_GOLDEN_SCENARIOS = {
+    "merge_batched": _scenario_merge_batched,
+}
+
+
+def test_batched_reservation_matches_mesh_golden():
+    """Delivery times must match the committed golden recordings exactly.
+
+    The ``stream``/``pingpong``/``fanout`` sections were generated with the
+    seed's per-hop generator loop — the batched implementation must
+    reproduce every injection and delivery instant bit for bit (same-instant
+    delivery *order* is compared by message, not by callback order).  The
+    ``merge_batched`` section pins the batched model's own multi-source
+    behaviour so the contended regime cannot drift unnoticed again.
+    """
+    with open(os.path.join(DATA_DIR, "noc_golden_mesh.json")) as handle:
+        golden = json.load(handle)
+    scenarios = {**_SEED_GOLDEN_SCENARIOS, **_BATCHED_GOLDEN_SCENARIOS}
+    assert set(golden) == set(scenarios)
+    for name, scenario in scenarios.items():
+        measured = sorted(scenario())
+        expected = [[seq, float(injected), float(delivered)]
+                    for seq, injected, delivered in golden[name]]
+        assert measured == expected, f"scenario {name!r} diverged from golden timing"
+
+
+def test_merge_traffic_is_deterministic():
+    """Cross-source merge traffic (where batched reservation legitimately
+    refines the seed model) must still be run-to-run deterministic."""
+    def run():
+        sim = Simulator()
+        clock = ClockDomain(sim, 1000.0, "sys")
+        network = NocNetwork(sim, clock, 4, 1)
+        for node in range(4):
+            network.attach(node, lambda m: None)
+        deliveries = []
+
+        def sender(src, count, gap):
+            for index in range(count):
+                msg = NocMessage(src=src, dst=3, kind="m", size_bytes=16,
+                                 meta={"tag": (src, index)})
+                event = network.send(msg)
+                event.add_callback(
+                    lambda _v, msg=msg: deliveries.append(
+                        (msg.meta["tag"], msg.timestamps["delivered"])))
+                yield Delay(gap)
+
+        sim.process(sender(0, 15, 1.0))
+        sim.process(sender(1, 15, 1.5))
+        sim.process(sender(2, 15, 0.7))
+        sim.run()
+        return deliveries
+
+    first, second = run(), run()
+    assert first == second
+    assert len(first) == 45

@@ -229,3 +229,20 @@ def test_async_fifo_property_order_and_latency(push_mhz, pop_mhz, count, sync_st
     min_latency = pop.edge_after(push.next_edge(0.0), sync_stages)
     assert arrivals[0][0] >= min_latency - 1e-9
     assert all(arrivals[i][0] <= arrivals[i + 1][0] for i in range(len(arrivals) - 1))
+
+
+def test_async_fifo_visible_time_cache_matches_direct_computation():
+    """The memoized visibility computation must be bit-identical to the
+    uncached edge arithmetic, including across a pop-domain retune."""
+    sim = Simulator()
+    push = ClockDomain(sim, 700.0, "push")
+    pop = ClockDomain(sim, 300.0, "pop")
+    fifo = AsyncFifo(sim, push, pop, sync_stages=2)
+    commits = [0.0, 0.1, 0.1, 3.3, 3.3, 7.9, 7.9, 2.0]
+    for commit in commits:
+        expected = ClockDomain(sim, 300.0, "ref").edge_after(commit, 2)
+        assert fifo._visible_time(commit) == expected
+        assert fifo._visible_time(commit) == expected  # cache hit path
+    pop.freq_mhz = 150.0
+    expected = ClockDomain(sim, 150.0, "ref").edge_after(0.1, 2)
+    assert fifo._visible_time(0.1) == expected

@@ -101,3 +101,36 @@ def test_edge_after_spacing(freq, at, cycles):
     assert clk.edge_after(at, cycles + 1) - clk.edge_after(at, cycles) == pytest.approx(
         clk.period_ns
     )
+
+
+@given(
+    freq=st.floats(min_value=1.0, max_value=4000.0),
+    queries=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=20),
+)
+def test_edge_cache_is_bit_identical_to_fresh_computation(freq, queries):
+    """Cached next_edge answers must equal what an uncached domain computes,
+    in any query order (the cache may hit, miss, or straddle windows)."""
+    sim = Simulator()
+    cached = ClockDomain(sim, freq)
+    for at in queries:
+        fresh = ClockDomain(sim, freq)
+        assert cached.next_edge(at) == fresh.next_edge(at)
+
+
+def test_edge_cache_hits_within_one_cycle():
+    sim = Simulator()
+    clk = ClockDomain(sim, 1000.0)
+    first = clk.next_edge(0.3)
+    assert clk.next_edge(0.5) == first
+    assert clk.next_edge(0.7) == first
+    assert clk.next_edge(1.2) == first + clk.period_ns
+
+
+def test_edge_cache_invalidated_on_retune_and_phase_change():
+    sim = Simulator()
+    clk = ClockDomain(sim, 1000.0)
+    assert clk.next_edge(0.5) == 1.0
+    clk.freq_mhz = 500.0
+    assert clk.next_edge(0.5) == 2.0
+    clk.phase_ns = 0.25
+    assert clk.next_edge(0.5) == 2.25

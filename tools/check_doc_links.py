@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check intra-repository markdown links.
+
+Scans every tracked ``*.md`` file for inline links and images
+(``[text](target)`` / ``![alt](target)``) and reference definitions
+(``[label]: target``), and verifies that every *relative* target resolves to
+an existing file or directory.  External schemes (``http(s)``, ``mailto``)
+and pure in-page anchors (``#section``) are skipped; a fragment on a
+relative link is stripped before the existence check.
+
+Used by the CI ``docs`` job and by ``tests/test_docs.py``; run manually as::
+
+    python tools/check_doc_links.py [ROOT]
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterator, List, Tuple
+
+#: Inline links/images.  Deliberately simple: no nested parens in targets.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+(?:\"[^\"]*\"|'[^']*'))?\)")
+#: Reference-style definitions: `[label]: target`.
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+#: Fenced code blocks, stripped before link extraction.
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+_SKIP_DIRS = {".git", ".pytest_cache", "__pycache__", ".hypothesis",
+              "node_modules", ".venv", "venv"}
+
+
+def iter_markdown_files(root: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+        for filename in sorted(filenames):
+            if filename.endswith(".md"):
+                yield os.path.join(dirpath, filename)
+
+
+def extract_targets(markdown: str) -> List[str]:
+    stripped = _CODE_FENCE.sub("", markdown)
+    targets = _INLINE_LINK.findall(stripped)
+    targets += _REFERENCE_DEF.findall(stripped)
+    return targets
+
+
+def is_checkable(target: str) -> bool:
+    if not target or target.startswith("#"):
+        return False
+    scheme = target.split(":", 1)[0].lower()
+    if ":" in target and scheme in ("http", "https", "mailto", "ftp"):
+        return False
+    return True
+
+
+def check_file(path: str, root: str) -> List[Tuple[str, str]]:
+    """Return (link, reason) tuples for every broken link in ``path``."""
+    with open(path, encoding="utf-8") as handle:
+        markdown = handle.read()
+    broken = []
+    base = os.path.dirname(path)
+    for target in extract_targets(markdown):
+        if not is_checkable(target):
+            continue
+        resolved = os.path.normpath(os.path.join(base, target.split("#", 1)[0]))
+        if not os.path.exists(resolved):
+            broken.append((target, f"missing: {os.path.relpath(resolved, root)}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = os.path.abspath(argv[1] if len(argv) > 1 else ".")
+    failures = 0
+    files = 0
+    for path in iter_markdown_files(root):
+        files += 1
+        for target, reason in check_file(path, root):
+            failures += 1
+            print(f"{os.path.relpath(path, root)}: broken link {target!r} ({reason})")
+    label = "link" if failures == 1 else "links"
+    print(f"checked {files} markdown files: {failures} broken {label}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
