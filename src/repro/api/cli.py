@@ -154,6 +154,12 @@ def cmd_perf(args: argparse.Namespace) -> int:
         ))
         print(f"wrote {out_path}", file=sys.stderr)
     if baseline is not None:
+        current_interp = report.get("interpreter", {}).get("implementation")
+        baseline_interp = baseline.get("interpreter", {}).get("implementation")
+        if current_interp and baseline_interp and current_interp != baseline_interp:
+            print(f"warning: comparing a {current_interp} run against a "
+                  f"{baseline_interp} baseline; ratios are uncalibrated across "
+                  "interpreters", file=sys.stderr)
         gates = tuple(args.gate or perf.DEFAULT_GATES)
         comparisons = perf.compare_reports(
             report, baseline, tolerance=args.max_regression, gates=gates)

@@ -376,3 +376,39 @@ for _config in APPLICATION_CONFIGS:
         tags=("application",),
     ))
 del _config
+
+
+# --------------------------------------------------------------------------- #
+# Power / efficiency experiments (cells live in repro.power.experiments,
+# which must not import repro.api — see its module docstring)
+# --------------------------------------------------------------------------- #
+from repro.power import experiments as power_experiments  # noqa: E402
+
+register_experiment(ExperimentSpec(
+    name="power_efficiency",
+    cell=power_experiments.power_efficiency_cell,
+    title="Power Efficiency — Energy, EDP and Perf-per-Watt by System and Clock",
+    description="Popcount on every system kind x P/M shape x eFPGA clock "
+                "with energy accounting enabled (see docs/power.md).",
+    grid={"system": tuple(kind.value for kind in
+                          (SystemKind.CPU_ONLY, SystemKind.FPSOC, SystemKind.DUET)),
+          "pm": power_experiments.PM_SHAPES,
+          "fpga_mhz": (50.0, 100.0, 150.0)},
+    fixed={"vectors": 12, "seed": power_experiments.DEFAULT_SEED,
+           "cpu_anchor_mhz": 50.0},
+    summarize=power_experiments.power_efficiency_summary,
+    tags=("power", "sweep", "efficiency"),
+))
+
+register_experiment(ExperimentSpec(
+    name="dvfs_policy",
+    cell=power_experiments.dvfs_policy_cell,
+    title="DVFS Policy — Governors on a Bursty Accelerator Workload",
+    description="Fixed / Ladder / EnergyCap governors driving the eFPGA "
+                "clock of a bursty compute workload (see docs/power.md).",
+    grid={"governor": power_experiments.GOVERNOR_KINDS},
+    fixed={"bursts": 4, "items_per_burst": 6, "idle_ns": 20_000.0,
+           "compute_cycles": 64, "seed": power_experiments.DEFAULT_SEED},
+    summarize=power_experiments.dvfs_policy_summary,
+    tags=("power", "dvfs", "synthetic"),
+))

@@ -66,11 +66,19 @@ class CpuContext:
         per_op = config.fp_op_cycles if fp else config.int_op_cycles
         cycles = max(1.0, instructions * per_op / config.issue_width)
         core._c_instructions.value += int(instructions)
-        yield core.domain.wait_cycles(int(round(cycles)))
+        rounded = int(round(cycles))
+        probe = core.power_probe
+        if probe is not None:
+            probe.core_active_cycles += rounded
+        yield core.domain.wait_cycles(rounded)
         return None
 
     def stall(self, cycles: int):
-        """Explicitly stall the pipeline for ``cycles`` core cycles."""
+        """Explicitly stall the pipeline for ``cycles`` core cycles.
+
+        A stall is pipeline idling, not toggling — it charges no dynamic
+        core energy (the clock tree and leakage still accrue with time).
+        """
         yield self._core.domain.wait_cycles(cycles)
         return None
 
@@ -159,6 +167,9 @@ class Core:
         self.mmio = mmio
         self.config = config or CoreConfig()
         self.name = name or f"core{core_id}"
+        #: Energy-accounting hook (see ``repro.power``); ``None`` unless the
+        #: system was built with ``PowerConfig(enabled=True)``.
+        self.power_probe = None
         self.stats = StatSet(f"{self.name}.stats")
         # Hot-loop stat objects, resolved once instead of per instruction.
         self._c_instructions = self.stats.counter("instructions")

@@ -125,6 +125,9 @@ class SoftAccelerator(abc.ABC):
         self.name = name or type(self).__name__
         self.env: Optional[AcceleratorEnvironment] = None
         self.stats = StatSet(f"{self.name}.stats")
+        #: Energy-accounting hook (see ``repro.power``); installed by the
+        #: platform when the hosting system has power modeling enabled.
+        self.power_probe = None
         self._running = False
 
     # ------------------------------------------------------------------ #
@@ -184,7 +187,15 @@ class SoftAccelerator(abc.ABC):
         return self.env.registers
 
     def cycles(self, count: int):
-        """Command: advance ``count`` eFPGA cycles (pipeline latency)."""
+        """Command: advance ``count`` eFPGA cycles (pipeline latency).
+
+        These are the accelerator's *active* cycles — the LUT-toggle energy
+        events of the power model — as opposed to cycles spent blocked on a
+        memory port or a register FIFO.
+        """
+        probe = self.power_probe
+        if probe is not None:
+            probe.fpga_active_cycles += count
         return self.domain.wait_cycles(count)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

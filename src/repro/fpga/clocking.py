@@ -40,12 +40,17 @@ class ProgrammableClockGenerator:
         if max_mhz is not None and self.fpga_domain.freq_mhz > max_mhz:
             self.fpga_domain.freq_mhz = max_mhz
 
+    def clamp(self, mhz: float) -> float:
+        """The frequency :meth:`set_frequency` would actually settle at."""
+        if self.max_mhz is not None:
+            return min(mhz, self.max_mhz)
+        return mhz
+
     def set_frequency(self, mhz: float) -> float:
         """PLL mode: set an arbitrary frequency (clamped to Fmax); returns it."""
         if mhz <= 0:
             raise ValueError(f"frequency must be positive, got {mhz}")
-        if self.max_mhz is not None:
-            mhz = min(mhz, self.max_mhz)
+        mhz = self.clamp(mhz)
         self.fpga_domain.freq_mhz = mhz
         self._divider = None
         return mhz

@@ -75,6 +75,9 @@ class DirectoryShard:
         self._busy: Set[int] = set()
         self._queued: Dict[int, Deque[NocMessage]] = {}
         self._collectors: Dict[int, _AckCollector] = {}
+        #: Energy-accounting hook (see ``repro.power``); ``None`` unless the
+        #: system was built with ``PowerConfig(enabled=True)``.
+        self.power_probe = None
         self.stats = StatSet(f"{self.name}.stats")
         # Hot-loop stat objects, resolved once instead of per request.
         self._c_llc_hits = self.stats.counter("llc_hits")
@@ -145,6 +148,9 @@ class DirectoryShard:
         line = self.address_map.line_of(message.addr)
         requester: AgentId = (message.meta["reply_node"], message.meta["reply_target"])
         self._c_requests[message.kind].value += 1
+        probe = self.power_probe
+        if probe is not None:
+            probe.directory_lookups += 1
         yield self.domain.wait_cycles(self.config.llc_latency_cycles)
         if message.kind == MsgKind.GET_S:
             yield from self._serve_get_s(message, line, requester)
@@ -257,6 +263,9 @@ class DirectoryShard:
         """Charge the LLC data access; on a miss, add the DRAM latency."""
         if self.data_store.lookup(line) is None:
             self._c_llc_misses.value += 1
+            probe = self.memory.power_probe
+            if probe is not None:
+                probe.dram_activations += 1
             yield self.domain.sim.timeout(self.memory.latency_ns)
             self.data_store.insert(line, CoherenceState.SHARED)
         else:

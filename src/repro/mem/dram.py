@@ -22,6 +22,12 @@ class MainMemory:
         self.latency_ns = config.dram_latency_ns if latency_ns is None else latency_ns
         self._words: Dict[int, int] = {}
         self.stats = StatSet("dram")
+        #: Energy-accounting hook (see ``repro.power``); ``None`` unless the
+        #: system was built with ``PowerConfig(enabled=True)``.  Row
+        #: activations are charged where DRAM latency is charged — on LLC
+        #: misses in the directory — not on functional backing-store reads,
+        #: which also fire on cache hits.
+        self.power_probe = None
         self._next_alloc = 0x1000_0000
 
     # ------------------------------------------------------------------ #

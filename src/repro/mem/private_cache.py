@@ -67,6 +67,9 @@ class PrivateCacheAgent:
         self._writeback_buffer: Dict[int, bool] = {}
         self._mshr_free: Optional[Event] = None
         self._line_listeners: list = []
+        #: Energy-accounting hook (see ``repro.power``); ``None`` unless the
+        #: system was built with ``PowerConfig(enabled=True)``.
+        self.power_probe = None
         self.stats = StatSet(f"{self.name}.stats")
         # Hot-loop stat objects, resolved once instead of per access.
         self._c_loads = self.stats.counter("loads")
@@ -95,6 +98,9 @@ class PrivateCacheAgent:
         """Read ``addr``; returns the functional word value."""
         line = self.address_map.line_of(addr)
         self._c_loads.value += 1
+        probe = self.power_probe
+        if probe is not None:
+            probe.cache_accesses += 1
         yield self.domain.wait_cycles(self.config.l1_latency_cycles)
         if self._l1_hit(line):
             self._c_l1_hits.value += 1
@@ -119,6 +125,9 @@ class PrivateCacheAgent:
             )
         line = self.address_map.line_of(addr)
         self._c_stores.value += 1
+        probe = self.power_probe
+        if probe is not None:
+            probe.cache_accesses += 1
         yield self.domain.wait_cycles(self.config.l1_latency_cycles)
         yield self.domain.wait_cycles(self.config.l2_latency_cycles)
         entry = self.l2.lookup(line)
@@ -137,6 +146,9 @@ class PrivateCacheAgent:
         """Atomic read-modify-write (LR/SC or AMO equivalent); returns the old value."""
         line = self.address_map.line_of(addr)
         self.stats.counter("amos").increment()
+        probe = self.power_probe
+        if probe is not None:
+            probe.cache_accesses += 1
         yield self.domain.wait_cycles(self.config.l1_latency_cycles)
         yield self.domain.wait_cycles(self.config.l2_latency_cycles)
         entry = self.l2.lookup(line)

@@ -79,6 +79,9 @@ class NocNetwork:
         self._handlers: Dict[int, MessageHandler] = {}
         # (plane, src, dst) -> time the link becomes free
         self._link_free_at: Dict[Tuple[int, int, int], float] = {}
+        #: Energy-accounting hook (see ``repro.power``); ``None`` unless the
+        #: system was built with ``PowerConfig(enabled=True)``.
+        self.power_probe = None
         self.stats = StatSet(f"{name}.stats")
         # The per-message stat objects, resolved once instead of per send.
         self._messages_sent = self.stats.counter("messages_sent")
@@ -134,6 +137,10 @@ class NocNetwork:
         cycle = domain.period_ns
         transfer_ns = (self.router_latency_cycles + message.flits) * cycle
         route = self.topology.route(message.src, message.dst)
+        probe = self.power_probe
+        if probe is not None:
+            # A local delivery still clocks the packet through one router.
+            probe.noc_flit_hops += message.flits * (len(route) or 1)
         if route:
             plane = int(message.plane)
             link_free_at = self._link_free_at

@@ -75,6 +75,23 @@ SUITE = [
         unit="messages/s",
         params={"messages": 2_000, "width": 8, "height": 8, "topology": "mesh"},
     ),
+    # The gated hooks-on twin of noc_messages_per_sec: identical workload
+    # with a live PowerProbe attached, so the energy hooks' hot-path cost
+    # is measured (and gated) directly.  BENCH_power.json (CI artifact)
+    # collects this and energy_samples_per_sec.
+    BenchSpec(
+        name="noc_messages_per_sec_hooks_on",
+        fn=micro.noc_message_throughput,
+        unit="messages/s",
+        params={"messages": 2_000, "width": 8, "height": 8, "topology": "mesh",
+                "power_hooks": True},
+    ),
+    BenchSpec(
+        name="energy_samples_per_sec",
+        fn=micro.energy_sample_rate,
+        unit="samples/s",
+        params={"samples": 20_000},
+    ),
     BenchSpec(
         name="noc_messages_per_sec_torus",
         fn=micro.noc_message_throughput,

@@ -25,12 +25,37 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 #: Bump only when the report layout changes incompatibly.
 SCHEMA = "duet-repro/bench-kernel/v1"
 
+#: Whether this interpreter is PyPy.  The perf suite runs fine under PyPy,
+#: but the machine calibration (raw generator-send throughput) is a
+#: CPython-specific proxy: under a tracing JIT the send loop gets compiled
+#: to a few machine instructions and stops tracking how fast the *suite*
+#: runs, so on PyPy the calibration is skipped and reports carry
+#: ``calibration_sends_per_sec: null`` (comparisons then fall back to raw,
+#: uncalibrated ratios — only meaningful against a same-interpreter
+#: baseline).
+IS_PYPY = "__pypy__" in sys.builtin_module_names
+
+
+def interpreter_info() -> Dict[str, str]:
+    """Implementation + version of the running interpreter.
+
+    Recorded in every ``BENCH_*.json`` so a baseline from one interpreter
+    is never silently compared against a run from another.
+    """
+    return {
+        "implementation": platform.python_implementation().lower(),
+        "version": platform.python_version(),
+    }
+
 #: Default regression tolerance (fraction of the baseline value).
 DEFAULT_TOLERANCE = 0.2
 
 #: Benchmarks that fail a gated comparison when they regress: the kernel
-#: headline number plus the batched-NoC 8x8 mesh microbenchmark.
-DEFAULT_GATES = ("kernel_events_per_sec", "noc_messages_per_sec")
+#: headline number, the batched-NoC 8x8 mesh microbenchmark, and the same
+#: NoC workload with the energy-accounting hooks live — gating the last
+#: one is what keeps the power layer's hot-path cost near zero.
+DEFAULT_GATES = ("kernel_events_per_sec", "noc_messages_per_sec",
+                 "noc_messages_per_sec_hooks_on")
 
 
 @dataclass
@@ -67,7 +92,7 @@ class BenchSpec:
         }
 
 
-def machine_calibration(sends: int = 200_000, repeats: int = 3) -> float:
+def machine_calibration(sends: int = 200_000, repeats: int = 3) -> Optional[float]:
     """Raw generator-resume throughput of this interpreter/machine.
 
     The kernel's hot path is dominated by pure-Python bytecode and
@@ -75,7 +100,13 @@ def machine_calibration(sends: int = 200_000, repeats: int = 3) -> float:
     suite at all.  Reports carry it, and :func:`compare_reports` divides
     each benchmark by it before comparing — which is what makes a baseline
     recorded on one machine meaningful on another (e.g. a CI runner).
+
+    Returns ``None`` on PyPy (see :data:`IS_PYPY`): the JIT compiles the
+    calibration loop away, so the number would wildly overstate how much
+    faster PyPy runs the real suite.
     """
+    if IS_PYPY:
+        return None
 
     def spin():
         while True:
@@ -98,7 +129,8 @@ def run_suite(specs: Sequence[BenchSpec], quick: bool = False,
               progress: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
     """Run every spec and assemble a schema-stable report."""
     if progress is not None:
-        progress("calibrating machine speed ...")
+        progress("calibrating machine speed ..." if not IS_PYPY
+                 else "PyPy detected: skipping CPython calibration ...")
     calibration = machine_calibration()
     benchmarks = []
     for spec in specs:
@@ -111,6 +143,7 @@ def run_suite(specs: Sequence[BenchSpec], quick: bool = False,
         .isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "interpreter": interpreter_info(),
         "mode": "quick" if quick else "full",
         "calibration_sends_per_sec": calibration,
         "benchmarks": benchmarks,
@@ -155,10 +188,12 @@ def compare_reports(current: Dict[str, Any], baseline: Dict[str, Any],
     both reports carry a machine calibration, each value is divided by its
     report's calibration first, so a baseline recorded on a fast dev box
     gates correctly on a slower CI runner (only the *relative* kernel
-    overhead matters).  A benchmark *regresses* when its goodness falls
-    below ``1 - tolerance``; only benchmarks named in ``gates`` make
-    :func:`has_gated_regression` fail (wall-time benches are informational
-    — too noisy to gate CI on).
+    overhead matters).  PyPy reports carry no calibration (see
+    :data:`IS_PYPY`), so comparisons involving one degrade to raw ratios —
+    only meaningful against a baseline from the same interpreter.  A
+    benchmark *regresses* when its goodness falls below ``1 - tolerance``;
+    only benchmarks named in ``gates`` make :func:`has_gated_regression`
+    fail (wall-time benches are informational — too noisy to gate CI on).
     """
     current_cal = current.get("calibration_sends_per_sec")
     baseline_cal = baseline.get("calibration_sends_per_sec")

@@ -19,7 +19,13 @@ budget:
   alignment and delivery events.  :func:`noc_hop_throughput` is its 4x4
   mesh instantiation kept for baseline continuity; the gated
   ``noc_messages_per_sec`` number runs the 8x8 mesh, with per-topology
-  variants alongside (see ``repro.perf.SUITE``).
+  variants alongside (see ``repro.perf.SUITE``).  Passing
+  ``power_hooks=True`` attaches a live :class:`~repro.power.PowerProbe`
+  — the gated ``noc_messages_per_sec_hooks_on`` variant, which is what
+  proves the energy-accounting hooks cost ~nothing on the hot path.
+* :func:`energy_sample_rate` — epoch closes per wall second of a busy
+  :class:`~repro.power.EnergyModel`: the accounting layer's own overhead,
+  published in the ``BENCH_power.json`` CI artifact.
 
 All of them return a rate (per wall second), so *higher is better* and
 regressions show up as ratios < 1 against the recorded baseline.
@@ -30,6 +36,7 @@ from __future__ import annotations
 import time
 
 from repro.noc import NocMessage, NocNetwork, make_topology
+from repro.power.model import EnergyModel, PowerConfig, PowerProbe
 from repro.sim import Channel, ClockDomain, Delay, Simulator
 
 
@@ -121,16 +128,20 @@ def channel_handoff(items: int = 20_000) -> float:
 
 
 def noc_message_throughput(messages: int = 2_000, width: int = 8, height: int = 8,
-                           topology: str = "mesh") -> float:
+                           topology: str = "mesh", power_hooks: bool = False) -> float:
     """Serialized messages per wall second across a network diameter.
 
     The destination is the node farthest (in hops) from node 0, so every
     topology is measured over its own longest route — the mesh pays the
     full diagonal, the torus half of it, the crossbar a single hop.
+    ``power_hooks=True`` attaches a live power probe, turning every send's
+    default-off energy hook into a real counter increment.
     """
     sim = Simulator()
     domain = ClockDomain(sim, 1000.0, "noc-bench")
     network = NocNetwork(sim, domain, topology=make_topology(topology, width, height))
+    if power_hooks:
+        network.power_probe = PowerProbe()
     fabric = network.topology
     far = max(range(network.node_count), key=lambda node: (fabric.hop_count(0, node), -node))
     network.attach(far, lambda message: None)
@@ -157,3 +168,38 @@ def noc_hop_throughput(messages: int = 2_000, width: int = 4, height: int = 4) -
     """The 4x4 mesh-diagonal variant tracked since the PR 2 baseline."""
     return noc_message_throughput(messages=messages, width=width, height=height,
                                   topology="mesh")
+
+
+def energy_sample_rate(samples: int = 20_000) -> float:
+    """Epoch closes per wall second of a busy :class:`EnergyModel`.
+
+    A ticking process bumps several probe counters and closes one
+    accounting epoch every simulated 10 ns — far more often than any real
+    governor would (epochs are normally 250-1000 ns) — so this number
+    bounds the accounting layer's overhead from above.
+    """
+    sim = Simulator()
+    domain = ClockDomain(sim, 1000.0, "energy-bench")
+    model = EnergyModel(PowerConfig(enabled=True, trace=False), sim, name="bench")
+    model.sys_domain = domain
+    model.num_tiles = 4
+    model.core_area_mm2 = 3.0
+    probe = model.probe
+
+    def ticker():
+        sample = model.sample
+        for _ in range(samples):
+            probe.cache_accesses += 3
+            probe.core_active_cycles += 8
+            probe.noc_flit_hops += 5
+            probe.directory_lookups += 1
+            yield Delay(10.0)
+            sample()
+
+    sim.process(ticker())
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    if model.epochs < samples:
+        raise RuntimeError(f"energy bench lost epochs: {model.epochs}/{samples}")
+    return samples / elapsed

@@ -11,6 +11,7 @@ from repro.core.memory_hub import MODE_DUET, MODE_FPSOC
 from repro.cpu.core import CoreConfig
 from repro.mem.config import MemoryConfig
 from repro.noc.topology import TOPOLOGY_KINDS
+from repro.power.model import PowerConfig
 
 
 class SystemKind(enum.Enum):
@@ -35,7 +36,10 @@ class DollyConfig:
     experiment, bounded by the installed accelerator's Fmax.
     ``noc_topology`` selects the interconnect fabric: ``"mesh"`` (the
     paper's P-Mesh, the default), ``"torus"``, ``"ring"`` or ``"crossbar"``
-    — see ``docs/noc.md`` for the trade-offs.
+    — see ``docs/noc.md`` for the trade-offs.  ``power`` enables the energy
+    accounting layer of :mod:`repro.power` (disabled by default, in which
+    case timing is bit-identical to a build without the power subsystem —
+    see ``docs/power.md``).
     """
 
     num_processors: int = 1
@@ -48,6 +52,7 @@ class DollyConfig:
     noc_topology: str = "mesh"
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     core: CoreConfig = field(default_factory=CoreConfig)
+    power: PowerConfig = field(default_factory=PowerConfig)
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
@@ -56,6 +61,16 @@ class DollyConfig:
             raise ValueError("the number of memory hubs cannot be negative")
         if self.kind is SystemKind.CPU_ONLY and self.num_memory_hubs:
             raise ValueError("a processor-only system has no memory hubs")
+        if self.system_mhz <= 0:
+            raise ValueError(
+                f"system_mhz must be positive, got {self.system_mhz} "
+                "(the system clock drives every hard component)"
+            )
+        if self.fpga_mhz is not None and self.fpga_mhz <= 0:
+            raise ValueError(
+                f"fpga_mhz must be positive when set, got {self.fpga_mhz} "
+                "(leave it None to run at the accelerator's post-route Fmax)"
+            )
         if self.noc_topology not in TOPOLOGY_KINDS:
             known = ", ".join(sorted(TOPOLOGY_KINDS))
             raise ValueError(

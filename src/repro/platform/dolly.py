@@ -19,6 +19,7 @@ from repro.mem.protocol import CoherenceState
 from repro.noc import NocNetwork, TileRouter
 from repro.platform.config import DollyConfig, SystemKind
 from repro.platform.tiles import TilePlan, TileRole
+from repro.power.model import EnergyModel
 from repro.sim import ClockDomain, Process, SimulationError, Simulator
 
 #: A workload assignment: (core index, program, positional args).
@@ -41,6 +42,9 @@ class DollySystem:
     directories: List[DirectoryShard]
     cores: List[Core]
     adapter: Optional[DuetAdapter] = None
+    #: The energy accounting layer; ``None`` unless the system was built
+    #: with ``PowerConfig(enabled=True)`` (see ``docs/power.md``).
+    energy: Optional[EnergyModel] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
@@ -66,6 +70,8 @@ class DollySystem:
             enable_atomics=enable_atomics,
             physical_memory_access=physical_memory_access,
         )
+        if self.energy is not None:
+            self.energy.attach_accelerator(accelerator, result.area_mm2)
         return result
 
     def start_accelerator(self) -> Process:
@@ -94,6 +100,11 @@ class DollySystem:
         command) can settle; the drain is not part of the reported runtime.
         """
         start = self.sim.now
+        energy = self.energy
+        if energy is not None:
+            # Close the pre-run epoch so the measured window's energy is
+            # exactly the window's (setup and drain are accounted outside).
+            energy.begin_window()
         processes = []
         for core_index, program, args in assignments:
             core = self.cores[core_index]
@@ -109,6 +120,8 @@ class DollySystem:
                 f"{len(unfinished)} program(s) did not finish on {self.config.name}"
             )
         elapsed = self.sim.now - start
+        if energy is not None:
+            energy.end_window()
         if drain_ns > 0:
             self.sim.run(until=self.sim.now + drain_ns, max_events=max_events)
         return [process.done.value for process in processes], elapsed
@@ -197,7 +210,7 @@ def build_system(config: DollyConfig) -> DollySystem:
             control_tile_has_memory_hub=config.num_memory_hubs > 0,
         )
 
-    return DollySystem(
+    system = DollySystem(
         config=config,
         plan=plan,
         sim=sim,
@@ -211,3 +224,7 @@ def build_system(config: DollyConfig) -> DollySystem:
         cores=cores,
         adapter=adapter,
     )
+    if config.power.enabled:
+        system.energy = EnergyModel(config.power, sim, name=f"{config.name}.energy")
+        system.energy.attach_system(system)
+    return system

@@ -1,0 +1,37 @@
+"""``repro.power`` — energy accounting and per-domain DVFS governors.
+
+The subsystem has three layers (see ``docs/power.md``):
+
+* :mod:`repro.power.model` — :class:`PowerConfig` (technology constants),
+  :class:`PowerProbe` (the shared event counters the component hooks
+  increment) and :class:`EnergyModel` (epoch-based static + dynamic energy
+  integration with per-epoch power traces);
+* :mod:`repro.power.governor` — :class:`Governor` and the ``Fixed`` /
+  ``Ladder`` / ``EnergyCap`` DVFS policies, retuning the eFPGA clock
+  through the existing :class:`ProgrammableClockGenerator` path;
+* :mod:`repro.power.experiments` — the ``power_efficiency`` and
+  ``dvfs_policy`` experiment cells registered in :mod:`repro.api`
+  (imported lazily by the registry, not here, to keep this package free of
+  platform/workload dependencies).
+"""
+
+from repro.power.model import EnergyModel, EpochSample, PowerConfig, PowerProbe
+from repro.power.governor import (
+    DEFAULT_LADDER,
+    EnergyCapGovernor,
+    FixedGovernor,
+    Governor,
+    LadderGovernor,
+)
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "EnergyCapGovernor",
+    "EnergyModel",
+    "EpochSample",
+    "FixedGovernor",
+    "Governor",
+    "LadderGovernor",
+    "PowerConfig",
+    "PowerProbe",
+]

@@ -1,0 +1,349 @@
+"""The power/efficiency experiments: ``power_efficiency`` and ``dvfs_policy``.
+
+``power_efficiency`` reruns the popcount application benchmark with energy
+accounting enabled, sweeping system kind x P/M shape x eFPGA clock, and
+reports the efficiency metrics the paper's evaluation implies but never
+shows: total energy, energy-delay product and perf-per-watt.
+
+``dvfs_policy`` drives a *bursty* accelerator workload (compute bursts
+separated by long idle gaps) under each DVFS governor and reports the same
+metrics plus the governor's retune activity — the experiment that shows a
+utilization ladder beating any fixed clock choice on energy at equal or
+better runtime (race-to-idle).
+
+Cells are module-level and seed-deterministic, so they are picklable for
+the process-pool executor and cacheable by the runner.  This module must
+not import anything from :mod:`repro.api` (the registry imports *us*); the
+:class:`~repro.api.spec.ExperimentSpec` objects wrapping these cells are
+built and registered in :mod:`repro.api.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.registers import RegisterKind, RegisterSpec
+from repro.fpga.accelerator import SoftAccelerator
+from repro.fpga.synthesis import AcceleratorDesign
+from repro.platform.config import DollyConfig, SystemKind
+from repro.platform.dolly import build_system
+from repro.power.governor import (
+    DEFAULT_LADDER,
+    EnergyCapGovernor,
+    FixedGovernor,
+    Governor,
+    LadderGovernor,
+)
+from repro.power.model import PowerConfig
+from repro.workloads import popcount
+from repro.workloads.common import WorkloadParams
+
+DEFAULT_SEED = 2023
+
+#: P/M shapes swept by ``power_efficiency`` (``"2x2"`` = Dolly-P2M2; the
+#: CPU-only baseline uses the processor count and drops the hubs).
+PM_SHAPES: Tuple[str, ...] = ("1x1", "2x2")
+
+
+def _parse_pm(pm: str) -> Tuple[int, int]:
+    try:
+        processors, _, hubs = pm.partition("x")
+        return int(processors), int(hubs)
+    except ValueError:
+        raise ValueError(f"bad P/M shape {pm!r}; expected e.g. '1x1' or '2x2'") from None
+
+
+def _efficiency_metrics(runtime_ns: float, energy_nj: float, ops: int) -> Dict[str, float]:
+    """The headline efficiency columns, shared by both experiments.
+
+    * ``edp_nj_ms`` — energy-delay product, nanojoules x milliseconds;
+    * ``perf_per_watt`` — (ops/second) per watt == ops per joule.
+
+    ``avg_power_mw`` is *not* derived here: it comes from
+    :func:`~repro.workloads.common.finalize_result` (pJ / ns == mW over
+    the measured window) so there is exactly one formula for it.
+    """
+    runtime_ms = runtime_ns * 1e-6
+    energy_j = energy_nj * 1e-9
+    return {
+        "energy_nj": energy_nj,
+        "edp_nj_ms": energy_nj * runtime_ms,
+        "perf_per_watt": ops / energy_j if energy_j > 0 else 0.0,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# power_efficiency: system kind x P/M x eFPGA clock -> energy / EDP / perf-per-W
+# --------------------------------------------------------------------------- #
+def power_efficiency_cell(system: str, pm: str, fpga_mhz: float,
+                          vectors: int = 12, seed: int = DEFAULT_SEED,
+                          cpu_anchor_mhz: float = 50.0) -> List[Dict[str, Any]]:
+    """Run popcount on one configuration with energy accounting enabled.
+
+    The CPU-only baseline has no eFPGA, so its measurement is independent
+    of the swept ``fpga_mhz``; to keep the grid a plain cartesian product
+    without simulating (and reporting) the identical baseline once per
+    clock, CPU-only cells run only at the ``cpu_anchor_mhz`` grid point and
+    return no rows elsewhere.  Override ``cpu_anchor_mhz`` alongside a
+    custom ``fpga_mhz`` axis that does not include the default anchor.
+    """
+    kind = SystemKind(system)
+    if kind is SystemKind.CPU_ONLY and fpga_mhz != cpu_anchor_mhz:
+        return []
+    processors, hubs = _parse_pm(pm)
+    params = WorkloadParams(
+        num_processors=processors,
+        num_memory_hubs=0 if kind is SystemKind.CPU_ONLY else hubs,
+        fpga_mhz=None if kind is SystemKind.CPU_ONLY else fpga_mhz,
+        seed=seed,
+        power=PowerConfig(enabled=True),
+    )
+    result = popcount.run(kind, params, vectors=vectors)
+    energy_nj = result.extra["energy_nj"]
+    breakdown = result.extra["energy_breakdown_nj"]
+    row: Dict[str, Any] = {
+        "system": kind.value,
+        "system_name": result.system_name,
+        "pm": pm,
+        "fpga_mhz_requested": None if kind is SystemKind.CPU_ONLY else fpga_mhz,
+        "fpga_mhz": result.fpga_mhz,
+        "runtime_ns": result.runtime_ns,
+        "correct": result.correct,
+        "chip_area_mm2": result.chip_area_mm2,
+        "avg_power_mw": result.extra["avg_power_mw"],
+    }
+    row.update(_efficiency_metrics(result.runtime_ns, energy_nj, vectors))
+    for category, value_nj in breakdown.items():
+        row[f"e_{category}_nj"] = value_nj
+    return [row]
+
+
+def power_efficiency_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Name the most efficient cell by each headline metric."""
+    def label(row: Dict[str, Any]) -> str:
+        mhz = row["fpga_mhz"]
+        suffix = f"@{mhz:.0f}MHz" if mhz else ""
+        return f"{row['system_name']}{suffix}"
+
+    usable = [row for row in rows if row["energy_nj"] > 0]
+    if not usable:
+        return {}
+    best_edp = min(usable, key=lambda row: row["edp_nj_ms"])
+    best_ppw = max(usable, key=lambda row: row["perf_per_watt"])
+    least_energy = min(usable, key=lambda row: row["energy_nj"])
+    return {
+        "best_edp": label(best_edp),
+        "best_perf_per_watt": label(best_ppw),
+        "least_energy": label(least_energy),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# The bursty workload driven by dvfs_policy
+# --------------------------------------------------------------------------- #
+REG_COMMAND = 0      # FPGA-bound FIFO: item index to process (or STOP)
+REG_RESULT = 1       # CPU-bound FIFO: per-item checksum
+REG_BASE_ADDR = 2    # plain register: base address of the item array
+
+STOP_COMMAND = (1 << 62)
+#: One cache line per item (the default MemoryConfig line size).
+ITEM_BYTES = 16
+
+
+class BurstComputeAccelerator(SoftAccelerator):
+    """Loads one line per item, then burns a fixed compute-cycle budget.
+
+    The compute budget dominates the per-item latency, so the item rate is
+    roughly proportional to the eFPGA clock — the regime where a DVFS
+    governor's frequency choice actually shows up in both the runtime and
+    the energy column.  Shallow logic keeps the post-route Fmax near
+    500 MHz so the default governor ladder is usable unclamped.
+    """
+
+    DESIGN = AcceleratorDesign(
+        name="burst-compute",
+        luts=1200,
+        ffs=1200,
+        bram_kbits=16,
+        dsps=0,
+        logic_depth=4,
+        routing_pressure=0.2,
+        mem_ports=1,
+        description="line-load + fixed-latency compute kernel (bursty driver)",
+    )
+
+    def __init__(self, compute_cycles: int = 64, name: str = "burst-compute") -> None:
+        super().__init__(name)
+        self.compute_cycles = compute_cycles
+        self.processed = 0
+
+    #: Compute advances in stage-sized chunks so a mid-item governor retune
+    #: takes effect at the next chunk boundary instead of after the whole
+    #: item (a monolithic ``cycles(N)`` would pin the item to the frequency
+    #: it started at).
+    STAGE_CYCLES = 8
+
+    def behavior(self):
+        while True:
+            command = yield from self.regs.pop_request(REG_COMMAND)
+            if command == STOP_COMMAND:
+                return self.processed
+            base = yield from self.regs.read(REG_BASE_ADDR)
+            words = yield from self.mem.load_line(base + command * ITEM_BYTES)
+            remaining = self.compute_cycles
+            while remaining > 0:
+                chunk = min(self.STAGE_CYCLES, remaining)
+                yield self.cycles(chunk)
+                remaining -= chunk
+            checksum = 0
+            for word in words:
+                checksum ^= word
+            yield from self.regs.push_response(REG_RESULT, checksum & 0xFFFF_FFFF)
+            self.processed += 1
+
+
+def _burst_registers() -> List[RegisterSpec]:
+    return [
+        RegisterSpec(REG_COMMAND, RegisterKind.FPGA_BOUND_FIFO, "command"),
+        RegisterSpec(REG_RESULT, RegisterKind.CPU_BOUND_FIFO, "result"),
+        RegisterSpec(REG_BASE_ADDR, RegisterKind.PLAIN, "base_addr"),
+    ]
+
+
+#: Governor factories for the ``dvfs_policy`` grid.  The fixed points pin
+#: the ladder's bottom, middle and top rungs so the policies are compared
+#: over the same frequency range.
+GOVERNOR_KINDS: Tuple[str, ...] = (
+    "fixed_min", "fixed_mid", "fixed_max", "ladder", "energy_cap",
+)
+
+#: Governor epoch; well below a burst's duration so the ladder's step-up
+#: lag stays a small fraction of every burst.
+GOVERNOR_EPOCH_NS = 500.0
+
+
+def make_governor(kind: str, epoch_ns: float = GOVERNOR_EPOCH_NS) -> Governor:
+    ladder = DEFAULT_LADDER
+    if kind == "fixed_min":
+        return FixedGovernor(freq_mhz=ladder[0], epoch_ns=epoch_ns)
+    if kind == "fixed_mid":
+        return FixedGovernor(freq_mhz=ladder[len(ladder) // 2], epoch_ns=epoch_ns)
+    if kind == "fixed_max":
+        return FixedGovernor(freq_mhz=ladder[-1], epoch_ns=epoch_ns)
+    if kind == "ladder":
+        return LadderGovernor(freqs_mhz=ladder, epoch_ns=epoch_ns)
+    if kind == "energy_cap":
+        # Between the bursty workload's idle floor (~2.9 mW at the top rung)
+        # and its busy peaks (~4 mW): binding during bursts, slack when idle.
+        return EnergyCapGovernor(budget_mw=3.2, freqs_mhz=ladder, epoch_ns=epoch_ns)
+    known = ", ".join(GOVERNOR_KINDS)
+    raise ValueError(f"unknown governor {kind!r}; known governors: {known}")
+
+
+def run_bursty(governor_kind: str, bursts: int = 4, items_per_burst: int = 6,
+               idle_ns: float = 20_000.0, compute_cycles: int = 64,
+               seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+    """Run the bursty workload on Dolly-P1M1 under one governor.
+
+    Each burst pushes ``items_per_burst`` items through the accelerator's
+    command FIFO back to back; between bursts the core stalls for
+    ``idle_ns`` of system-clock time (idle duration is frequency-
+    independent, as a device waiting for work would be).
+    """
+    import random
+
+    config = DollyConfig.dolly(1, 1, power=PowerConfig(enabled=True))
+    system = build_system(config)
+    accelerator = BurstComputeAccelerator(compute_cycles=compute_cycles)
+    system.install_accelerator(accelerator, registers=_burst_registers())
+    governor = make_governor(governor_kind)
+    governor.attach(system)
+    system.start_accelerator()
+    adapter = system.adapter
+
+    rng = random.Random(seed)
+    total_items = bursts * items_per_burst
+    base = system.memory.allocate(total_items * ITEM_BYTES, align=64)
+    words_per_item = ITEM_BYTES // 8
+    expected: List[int] = []
+    for item in range(total_items):
+        checksum = 0
+        for word_index in range(words_per_item):
+            word = rng.getrandbits(64)
+            system.memory.write_word(base + item * ITEM_BYTES + word_index * 8, word)
+            checksum ^= word
+        expected.append(checksum & 0xFFFF_FFFF)
+    results: List[int] = []
+    idle_cycles = max(1, int(round(idle_ns / system.sys_clock.period_ns)))
+
+    def program(ctx):
+        yield from ctx.mmio_write(adapter.register_addr(REG_BASE_ADDR), base)
+        item = 0
+        for burst in range(bursts):
+            if burst:
+                yield from ctx.stall(idle_cycles)
+            for _ in range(items_per_burst):
+                yield from ctx.mmio_write(adapter.register_addr(REG_COMMAND), item)
+                checksum = yield from ctx.mmio_read(adapter.register_addr(REG_RESULT))
+                results.append(checksum)
+                item += 1
+        yield from ctx.mmio_write(adapter.register_addr(REG_COMMAND), STOP_COMMAND)
+        return item
+
+    _, runtime_ns = system.run_single(program)
+    energy = system.energy
+    energy_nj = energy.last_window_pj / 1000.0
+    # Frequency statistics over the *measured window* only, matching the
+    # window-scoped energy totals (the post-run drain, where the governor
+    # keeps easing the idle clock down, would otherwise skew them).
+    trace = energy.window_series("fpga_mhz")
+    row: Dict[str, Any] = {
+        "governor": governor_kind,
+        "workload": "bursty_compute",
+        "bursts": bursts,
+        "items": total_items,
+        "correct": results == expected,
+        "runtime_ns": runtime_ns,
+        "avg_power_mw": energy.last_window_avg_power_mw,
+        "retunes": governor.retunes,
+        "fpga_mhz_mean": trace.time_weighted_mean(),
+        "fpga_mhz_min": min(trace.values) if trace.values else 0.0,
+        "fpga_mhz_max": max(trace.values) if trace.values else 0.0,
+    }
+    row.update(_efficiency_metrics(runtime_ns, energy_nj, total_items))
+    for category, value_nj in sorted(energy.last_window_breakdown.items()):
+        row[f"e_{category}_nj"] = value_nj / 1000.0
+    return row
+
+
+def dvfs_policy_cell(governor: str, bursts: int = 4, items_per_burst: int = 6,
+                     idle_ns: float = 20_000.0, compute_cycles: int = 64,
+                     seed: int = DEFAULT_SEED) -> List[Dict[str, Any]]:
+    return [run_bursty(governor, bursts=bursts, items_per_burst=items_per_burst,
+                       idle_ns=idle_ns, compute_cycles=compute_cycles, seed=seed)]
+
+
+def dvfs_policy_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Compare every policy against the fixed points it shares rungs with."""
+    by_governor = {row["governor"]: row for row in rows}
+    summary: Dict[str, Any] = {}
+    ladder = by_governor.get("ladder")
+    fixed_mid = by_governor.get("fixed_mid")
+    fixed_max = by_governor.get("fixed_max")
+    if ladder and fixed_mid and fixed_mid["energy_nj"] > 0:
+        summary["ladder_energy_vs_fixed_mid"] = (
+            ladder["energy_nj"] / fixed_mid["energy_nj"])
+        summary["ladder_runtime_vs_fixed_mid"] = (
+            ladder["runtime_ns"] / fixed_mid["runtime_ns"])
+    if ladder and fixed_max and fixed_max["energy_nj"] > 0:
+        summary["ladder_energy_vs_fixed_max"] = (
+            ladder["energy_nj"] / fixed_max["energy_nj"])
+        summary["ladder_runtime_vs_fixed_max"] = (
+            ladder["runtime_ns"] / fixed_max["runtime_ns"])
+    usable = [row for row in rows if row["energy_nj"] > 0]
+    if usable:
+        summary["best_edp_governor"] = min(
+            usable, key=lambda row: row["edp_nj_ms"])["governor"]
+    return summary
+
+

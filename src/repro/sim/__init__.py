@@ -18,7 +18,7 @@ from repro.sim.kernel import (
 )
 from repro.sim.clock import ClockDomain
 from repro.sim.channel import AsyncFifo, Channel, QueueFullError
-from repro.sim.stats import Counter, Histogram, StatSet
+from repro.sim.stats import Counter, Histogram, StatSet, TimeSeries
 
 __all__ = [
     "Simulator",
@@ -33,6 +33,7 @@ __all__ = [
     "Counter",
     "Histogram",
     "StatSet",
+    "TimeSeries",
     "ns_to_ps",
     "ps_to_ns",
 ]

@@ -68,18 +68,82 @@ class Histogram:
         return ordered[rank]
 
 
-class StatSet:
-    """A named collection of counters and histograms.
+@dataclass
+class TimeSeries:
+    """A sequence of ``(time_ns, value)`` samples in non-decreasing time order.
 
-    Components create their stats lazily with :meth:`counter` and
-    :meth:`histogram`, so tests and experiments can introspect whatever was
-    actually exercised.
+    The power layer records one sample per governor/accounting epoch
+    (average power, eFPGA frequency, per-epoch energy); experiments read the
+    trace back to plot policies against each other.  Samples must be
+    appended in non-decreasing time order — the recorder is a simulation
+    process, so that comes for free.
+    """
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def record(self, time_ns: float, value: float) -> None:
+        if self.times and time_ns < self.times[-1]:
+            raise ValueError(
+                f"{self.name}: sample at {time_ns}ns is earlier than the "
+                f"last recorded sample at {self.times[-1]}ns"
+            )
+        self.times.append(time_ns)
+        self.values.append(value)
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.values.clear()
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def time_weighted_mean(self) -> float:
+        """Mean of the samples weighted by the interval each one covers.
+
+        Sample ``i`` is taken to hold from the previous sample's time (or
+        the first sample's time for ``i == 0``) until its own timestamp —
+        the convention the power traces use, where each epoch records its
+        *average* value at the epoch's end.  With fewer than two samples
+        (no interval information) this degrades to the plain mean.
+        """
+        if len(self.values) < 2:
+            return self.mean
+        total = 0.0
+        span = 0.0
+        for index in range(1, len(self.values)):
+            dt = self.times[index] - self.times[index - 1]
+            total += self.values[index] * dt
+            span += dt
+        return total / span if span > 0 else self.mean
+
+    def as_pairs(self) -> List[tuple]:
+        return list(zip(self.times, self.values))
+
+
+class StatSet:
+    """A named collection of counters, histograms and time series.
+
+    Components create their stats lazily with :meth:`counter`,
+    :meth:`histogram` and :meth:`series`, so tests and experiments can
+    introspect whatever was actually exercised.
     """
 
     def __init__(self, name: str = "stats") -> None:
         self.name = name
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._series: Dict[str, TimeSeries] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -88,8 +152,23 @@ class StatSet:
 
     def histogram(self, name: str) -> Histogram:
         if name not in self._histograms:
+            if name in self._series:
+                raise ValueError(
+                    f"{self.name}: {name!r} is already a time series; "
+                    "histograms and series share the flattened key space"
+                )
             self._histograms[name] = Histogram(name)
         return self._histograms[name]
+
+    def series(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            if name in self._histograms:
+                raise ValueError(
+                    f"{self.name}: {name!r} is already a histogram; "
+                    "histograms and series share the flattened key space"
+                )
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
 
     def counters(self) -> Dict[str, int]:
         return {name: counter.value for name, counter in self._counters.items()}
@@ -97,27 +176,50 @@ class StatSet:
     def histograms(self) -> Dict[str, Histogram]:
         return dict(self._histograms)
 
+    def serieses(self) -> Dict[str, TimeSeries]:
+        return dict(self._series)
+
     def reset(self) -> None:
         for counter in self._counters.values():
             counter.reset()
         for histogram in self._histograms.values():
             histogram.reset()
+        for series in self._series.values():
+            series.reset()
 
     def merge(self, other: "StatSet") -> None:
-        """Fold ``other``'s counters and samples into this set."""
+        """Fold ``other``'s counters and samples into this set.
+
+        Time series from the two sets may cover overlapping time ranges
+        (e.g. per-subsystem traces of the same run); the merged series
+        interleaves them by timestamp, keeping this set's samples first on
+        ties, so the time-ordering invariant survives the merge.
+        """
         for name, counter in other._counters.items():
             self.counter(name).increment(counter.value)
         for name, histogram in other._histograms.items():
             self.histogram(name).samples.extend(histogram.samples)
+        for name, series in other._series.items():
+            merged = self.series(name)
+            pairs = sorted(
+                list(zip(merged.times, merged.values))
+                + list(zip(series.times, series.values)),
+                key=lambda pair: pair[0],
+            )
+            merged.times = [time_ns for time_ns, _ in pairs]
+            merged.values = [value for _, value in pairs]
 
     def as_dict(self) -> Dict[str, float]:
-        """Flatten to a plain dict (counters plus histogram means)."""
+        """Flatten to a plain dict (counters plus histogram/series summaries)."""
         flat: Dict[str, float] = {}
         for name, counter in self._counters.items():
             flat[name] = counter.value
         for name, histogram in self._histograms.items():
             flat[f"{name}.mean"] = histogram.mean
             flat[f"{name}.count"] = histogram.count
+        for name, series in self._series.items():
+            flat[f"{name}.mean"] = series.mean
+            flat[f"{name}.count"] = series.count
         return flat
 
 

@@ -20,6 +20,7 @@ from typing import Any, Dict, Optional
 from repro.platform.area import AreaModel
 from repro.platform.config import DollyConfig, SystemKind
 from repro.platform.dolly import DollySystem, build_system
+from repro.power.model import PowerConfig
 
 
 @dataclass
@@ -30,6 +31,9 @@ class WorkloadParams:
     num_memory_hubs: int = 1
     fpga_mhz: Optional[float] = None
     seed: int = 2023
+    #: Enable energy accounting for this run (``None`` keeps it off — the
+    #: default, under which timing is bit-identical to pre-power builds).
+    power: Optional[PowerConfig] = None
 
 
 @dataclass
@@ -61,14 +65,15 @@ class BenchmarkResult:
 
 def build_benchmark_system(kind: SystemKind, params: WorkloadParams) -> DollySystem:
     """Build the system-under-test for one benchmark run."""
+    power = params.power if params.power is not None else PowerConfig()
     if kind is SystemKind.CPU_ONLY:
-        config = DollyConfig.cpu_only(params.num_processors)
+        config = DollyConfig.cpu_only(params.num_processors, power=power)
     elif kind is SystemKind.DUET:
         config = DollyConfig.dolly(params.num_processors, params.num_memory_hubs,
-                                   fpga_mhz=params.fpga_mhz)
+                                   fpga_mhz=params.fpga_mhz, power=power)
     else:
         config = DollyConfig.fpsoc(params.num_processors, params.num_memory_hubs,
-                                   fpga_mhz=params.fpga_mhz)
+                                   fpga_mhz=params.fpga_mhz, power=power)
     return build_system(config)
 
 
@@ -95,6 +100,16 @@ def finalize_result(
     fpga_mhz = None
     if system.fpga_domain is not None:
         fpga_mhz = system.fpga_domain.freq_mhz
+    extra = dict(extra or {})
+    energy = system.energy
+    if energy is not None and energy.last_window_pj is not None:
+        energy_nj = energy.last_window_pj / 1000.0
+        extra["energy_nj"] = energy_nj
+        extra["energy_breakdown_nj"] = {
+            category: pj / 1000.0
+            for category, pj in sorted(energy.last_window_breakdown.items())
+        }
+        extra["avg_power_mw"] = energy.last_window_avg_power_mw
     return BenchmarkResult(
         benchmark=benchmark,
         system=kind,
@@ -107,5 +122,5 @@ def finalize_result(
         fpga_mhz=fpga_mhz,
         efpga_area_mm2=efpga_area_mm2,
         chip_area_mm2=chip_area,
-        extra=extra or {},
+        extra=extra,
     )

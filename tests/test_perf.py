@@ -124,6 +124,54 @@ def test_reports_carry_machine_calibration():
     assert report["calibration_sends_per_sec"] > 0
 
 
+def test_reports_record_the_interpreter():
+    from repro.perf import harness
+
+    report = run_suite(_toy_suite(), quick=True)
+    interp = report["interpreter"]
+    assert interp["implementation"] in ("cpython", "pypy")
+    assert interp["version"] == report["python"]
+    # On this (CPython) test run the PyPy probe must be off.
+    assert harness.IS_PYPY == (interp["implementation"] == "pypy")
+
+
+def test_pypy_probe_skips_calibration(monkeypatch):
+    """Under PyPy the CPython-specific calibration is skipped: reports carry
+    null and comparisons degrade to raw (scale-1) ratios."""
+    from repro.perf import harness
+
+    monkeypatch.setattr(harness, "IS_PYPY", True)
+    assert harness.machine_calibration() is None
+    report = run_suite(_toy_suite(value=100.0), quick=True)
+    assert report["calibration_sends_per_sec"] is None
+
+    monkeypatch.setattr(harness, "IS_PYPY", False)
+    baseline = run_suite(_toy_suite(value=100.0), quick=True)
+    assert baseline["calibration_sends_per_sec"] > 0
+    # Uncalibrated current vs calibrated baseline: raw ratio, no crash.
+    comparisons = compare_reports(report, baseline, gates=("toy_rate",))
+    by_name = {c.name: c for c in comparisons}
+    assert by_name["toy_rate"].ratio == pytest.approx(1.0)
+    assert not has_gated_regression(comparisons)
+
+
+def test_cli_perf_warns_on_cross_interpreter_comparison(tmp_path, monkeypatch, capsys):
+    from repro.api import cli
+    from repro import perf
+
+    monkeypatch.setattr(perf, "SUITE", _toy_suite())
+    baseline_path = tmp_path / "baseline.json"
+    assert cli.main(["perf", "--quick", "--out", str(baseline_path)]) == 0
+    baseline = json.loads(baseline_path.read_text())
+    baseline["interpreter"] = {"implementation": "pypy", "version": "3.10.14"}
+    baseline_path.write_text(json.dumps(baseline))
+    capsys.readouterr()
+    out = tmp_path / "current.json"
+    assert cli.main(["perf", "--quick", "--out", str(out),
+                     "--baseline", str(baseline_path), "--gate", "toy_rate"]) == 0
+    assert "uncalibrated across interpreters" in capsys.readouterr().err
+
+
 def test_unknown_baseline_benchmarks_are_skipped():
     baseline = run_suite(_toy_suite(), quick=True)
     current = run_suite([BenchSpec(name="brand_new", fn=lambda: 1.0,
@@ -141,9 +189,18 @@ def test_kernel_microbenchmarks_return_positive_rates():
     assert micro.noc_hop_throughput(messages=20) > 0
 
 
+def test_power_microbenchmarks_return_positive_rates():
+    assert micro.noc_message_throughput(messages=20, power_hooks=True) > 0
+    assert micro.energy_sample_rate(samples=200) > 0
+
+
 def test_default_suite_is_well_formed():
     names = [spec.name for spec in SUITE]
     assert "kernel_events_per_sec" in names
+    # The energy-accounting overhead twins ship in the default suite (the
+    # hooks-on NoC bench is CI-gated; see docs/power.md).
+    assert "noc_messages_per_sec_hooks_on" in names
+    assert "energy_samples_per_sec" in names
     assert len(names) == len(set(names))
     for spec in SUITE:
         assert spec.direction in ("higher", "lower")

@@ -26,6 +26,22 @@ def test_config_validation():
         DollyConfig(num_processors=1, num_memory_hubs=1, kind=SystemKind.CPU_ONLY)
 
 
+def test_config_rejects_nonpositive_frequencies():
+    """Zero/negative clocks must fail at configuration time with a clear
+    message, not deep inside ClockDomain at build time."""
+    with pytest.raises(ValueError, match="system_mhz must be positive"):
+        DollyConfig(system_mhz=0.0)
+    with pytest.raises(ValueError, match="system_mhz must be positive"):
+        DollyConfig(system_mhz=-1000.0)
+    with pytest.raises(ValueError, match="fpga_mhz must be positive"):
+        DollyConfig(fpga_mhz=0.0)
+    with pytest.raises(ValueError, match="fpga_mhz must be positive"):
+        DollyConfig.dolly(1, 1, fpga_mhz=-100.0)
+    # None stays the "use the accelerator's Fmax" sentinel.
+    assert DollyConfig.dolly(1, 1, fpga_mhz=None).fpga_mhz is None
+    assert DollyConfig.dolly(1, 1, fpga_mhz=250.0).fpga_mhz == 250.0
+
+
 def test_tile_plan_roles_cover_p_c_and_m_tiles():
     plan = TilePlan.plan(DollyConfig.dolly(2, 2))
     assert len(plan.processor_tiles) == 2

@@ -1,0 +1,403 @@
+"""Tests for the ``repro.power`` subsystem: energy accounting, probe hooks,
+DVFS governors and the power experiments."""
+
+import pytest
+
+from repro.api.registry import get_experiment
+from repro.api.runner import Runner
+from repro.platform.config import DollyConfig, SystemKind
+from repro.platform.dolly import build_system
+from repro.power import (
+    EnergyCapGovernor,
+    EnergyModel,
+    FixedGovernor,
+    LadderGovernor,
+    PowerConfig,
+    PowerProbe,
+)
+from repro.power.experiments import (
+    GOVERNOR_KINDS,
+    dvfs_policy_cell,
+    power_efficiency_cell,
+    run_bursty,
+)
+from repro.power.model import EpochSample
+from repro.sim import Delay, Simulator
+from repro.workloads import popcount
+from repro.workloads.common import WorkloadParams
+
+
+# --------------------------------------------------------------------------- #
+# PowerConfig
+# --------------------------------------------------------------------------- #
+def test_power_config_disabled_by_default():
+    assert not PowerConfig().enabled
+    assert not DollyConfig.dolly(1, 1).power.enabled
+
+
+def test_power_config_validation():
+    with pytest.raises(ValueError, match="nominal_mhz"):
+        PowerConfig(nominal_mhz=0)
+    with pytest.raises(ValueError, match="voltages"):
+        PowerConfig(vdd_min_v=-0.1)
+    with pytest.raises(ValueError, match="cannot exceed"):
+        PowerConfig(vdd_min_v=1.2, vdd_nominal_v=1.0)
+    with pytest.raises(ValueError, match="leakage"):
+        PowerConfig(leakage_mw_per_mm2=-1.0)
+
+
+def test_voltage_frequency_curve():
+    config = PowerConfig(vdd_nominal_v=1.0, vdd_min_v=0.6, nominal_mhz=1000.0)
+    assert config.vdd_at(1000.0) == pytest.approx(1.0)
+    assert config.vdd_at(0.0) == pytest.approx(0.6)
+    assert config.vdd_at(500.0) == pytest.approx(0.8)
+    # Clamped above nominal.
+    assert config.vdd_at(2000.0) == pytest.approx(1.0)
+    # Dynamic scales quadratically, static linearly.
+    assert config.dynamic_scale(500.0) == pytest.approx(0.64)
+    assert config.static_scale(500.0) == pytest.approx(0.8)
+    # Lower frequency can never cost more per event.
+    assert config.dynamic_scale(100.0) < config.dynamic_scale(900.0)
+
+
+# --------------------------------------------------------------------------- #
+# Probe hooks: default-off, attached when enabled
+# --------------------------------------------------------------------------- #
+def test_hooks_are_none_by_default():
+    system = build_system(DollyConfig.dolly(1, 1))
+    assert system.energy is None
+    assert system.network.power_probe is None
+    assert system.memory.power_probe is None
+    assert all(core.power_probe is None for core in system.cores)
+    assert all(core.cache.power_probe is None for core in system.cores)
+    assert all(d.power_probe is None for d in system.directories)
+
+
+def test_enabled_system_shares_one_probe_everywhere():
+    config = DollyConfig.dolly(2, 2, power=PowerConfig(enabled=True))
+    system = build_system(config)
+    assert isinstance(system.energy, EnergyModel)
+    probe = system.energy.probe
+    assert system.network.power_probe is probe
+    assert system.memory.power_probe is probe
+    for core in system.cores:
+        assert core.power_probe is probe
+        assert core.cache.power_probe is probe
+    for directory in system.directories:
+        assert directory.power_probe is probe
+    for hub in system.adapter.memory_hubs:
+        assert hub.cache.power_probe is probe
+
+
+def test_timing_is_bit_identical_with_power_enabled():
+    """The accounting layer must observe, never perturb: same workload,
+    power on vs off, identical simulated runtime and results."""
+    baseline = popcount.run(SystemKind.DUET, WorkloadParams(seed=7), vectors=6)
+    powered = popcount.run(
+        SystemKind.DUET, WorkloadParams(seed=7, power=PowerConfig(enabled=True)),
+        vectors=6)
+    assert powered.runtime_ns == baseline.runtime_ns
+    assert powered.checksum == baseline.checksum
+    assert "energy_nj" not in baseline.extra
+    assert powered.extra["energy_nj"] > 0
+
+
+def test_probe_counts_events_when_enabled():
+    result = popcount.run(
+        SystemKind.DUET, WorkloadParams(power=PowerConfig(enabled=True)), vectors=4)
+    assert result.extra["energy_nj"] > 0
+    breakdown = result.extra["energy_breakdown_nj"]
+    # Every accounting category shows up; the busy ones are non-zero.
+    for category in ("core", "cache", "directory", "dram", "noc", "fpga",
+                     "clock", "static"):
+        assert category in breakdown
+    for category in ("cache", "noc", "fpga", "clock", "static"):
+        assert breakdown[category] > 0, category
+    assert sum(breakdown.values()) == pytest.approx(result.extra["energy_nj"])
+
+
+# --------------------------------------------------------------------------- #
+# EnergyModel accounting
+# --------------------------------------------------------------------------- #
+def _bare_model(**config_kwargs) -> EnergyModel:
+    sim = Simulator()
+    model = EnergyModel(PowerConfig(enabled=True, **config_kwargs), sim)
+    from repro.sim import ClockDomain
+    model.sys_domain = ClockDomain(sim, 1000.0)
+    model.num_tiles = 2
+    model.core_area_mm2 = 2.0
+    return model
+
+
+def test_energy_model_integrates_dynamic_events():
+    model = _bare_model(leakage_mw_per_mm2=0.0, sys_clock_tree_pj=0.0)
+    sim = model.sim
+
+    def work():
+        model.probe.cache_accesses += 10
+        yield Delay(100.0)
+        sample = model.sample()
+        assert sample.energy_pj["cache"] == pytest.approx(
+            10 * model.config.cache_access_pj)
+        assert sample.elapsed_ns == pytest.approx(100.0)
+
+    sim.run_process(work())
+    assert model.total_pj == pytest.approx(10 * model.config.cache_access_pj)
+
+
+def test_energy_model_static_energy_scales_with_area_and_time():
+    model = _bare_model(sys_clock_tree_pj=0.0)
+    sim = model.sim
+
+    def work():
+        yield Delay(1000.0)
+        sample = model.sample()
+        expected_mw = 2.0 * model.config.leakage_mw_per_mm2  # area x density
+        assert sample.energy_pj["static"] == pytest.approx(expected_mw * 1000.0)
+
+    sim.run_process(work())
+
+
+def test_energy_model_power_trace_lands_in_stats():
+    model = _bare_model()
+    sim = model.sim
+
+    def work():
+        for _ in range(3):
+            yield Delay(50.0)
+            model.sample()
+
+    sim.run_process(work())
+    trace = model.stats.series("power_mw")
+    assert trace.count == 3
+    assert all(value > 0 for value in trace.values)
+    assert trace.times == [50.0, 100.0, 150.0]
+
+
+def test_window_accounting_brackets_the_run():
+    model = _bare_model()
+    sim = model.sim
+
+    def work():
+        yield Delay(100.0)   # outside the window
+        model.begin_window()
+        model.probe.cache_accesses += 5
+        yield Delay(200.0)
+        model.end_window()
+        yield Delay(100.0)   # outside again
+
+    sim.run_process(work())
+    assert model.last_window_pj > 0
+    # The pre-window epoch accrued (static) energy too, so the window is a
+    # strict subset of the lifetime total.
+    assert model.last_window_pj < model.total_pj
+    assert sum(model.last_window_breakdown.values()) == pytest.approx(
+        model.last_window_pj)
+
+
+def test_end_window_without_begin_raises():
+    model = _bare_model()
+    with pytest.raises(RuntimeError, match="without begin_window"):
+        model.end_window()
+
+
+# --------------------------------------------------------------------------- #
+# Governors
+# --------------------------------------------------------------------------- #
+def _epoch(utilization=0.0, power_mw=1.0, fpga_mhz=400.0) -> EpochSample:
+    return EpochSample(
+        t_start_ns=0.0, t_end_ns=1000.0,
+        energy_pj={"static": power_mw * 1000.0}, total_pj=power_mw * 1000.0,
+        fpga_freq_mhz=fpga_mhz, fpga_active_cycles=int(utilization * 400),
+        fpga_utilization=utilization,
+    )
+
+
+def test_ladder_governor_boosts_on_activity_and_eases_down():
+    governor = LadderGovernor(freqs_mhz=(50, 100, 200, 400), patience=2)
+    # Busy -> top rung.
+    assert governor.decide(_epoch(utilization=0.5)) == 400.0
+    # One idle epoch: patience holds the rung.
+    assert governor.decide(_epoch(utilization=0.0)) is None
+    # Second consecutive idle epoch: step down.
+    assert governor.decide(_epoch(utilization=0.0)) == 200.0
+    assert governor.decide(_epoch(utilization=0.0)) == 100.0
+    # Activity resets the descent immediately.
+    assert governor.decide(_epoch(utilization=0.9)) == 400.0
+    assert governor.decide(_epoch(utilization=0.0)) is None
+
+
+def test_ladder_hysteresis_resets_on_any_non_idle_epoch():
+    """A mid-band epoch (between the thresholds) restarts the consecutive-
+    idle count — non-consecutive idle epochs never add up to a step-down."""
+    governor = LadderGovernor(freqs_mhz=(50, 100, 200, 400), patience=2,
+                              up_threshold=0.02, down_threshold=0.002)
+    assert governor.decide(_epoch(utilization=0.5)) == 400.0
+    assert governor.decide(_epoch(utilization=0.0)) is None     # idle #1
+    assert governor.decide(_epoch(utilization=0.01)) is None    # mid-band: reset
+    assert governor.decide(_epoch(utilization=0.0)) is None     # idle #1 again
+    assert governor.decide(_epoch(utilization=0.0)) == 200.0    # idle #2: step
+
+
+def test_governor_does_not_spam_retunes_above_fmax():
+    """A ladder rung above the accelerator's Fmax clamps; repeating the
+    clamped request on every busy epoch must not count as a retune."""
+    config = DollyConfig.dolly(1, 1, power=PowerConfig(enabled=True))
+    system = build_system(config)
+    from repro.power.experiments import BurstComputeAccelerator, _burst_registers
+    system.install_accelerator(BurstComputeAccelerator(), registers=_burst_registers())
+    fmax = system.adapter.clock_generator.max_mhz
+    governor = LadderGovernor(freqs_mhz=(fmax + 100.0,), epoch_ns=100.0)
+    governor.attach(system)
+    assert system.adapter.fpga_domain.freq_mhz == pytest.approx(fmax)
+    # A single-rung ladder above Fmax re-requests the clamped top on every
+    # patience-expired idle epoch; none of those repeats is a retune.
+    system.sim.run(until=1000.0)
+    assert governor.retunes == 0
+
+
+def test_window_series_excludes_setup_and_drain():
+    model = _bare_model()
+    sim = model.sim
+    from repro.sim import ClockDomain
+    model.fpga_domain = ClockDomain(sim, 100.0)
+
+    def work():
+        yield Delay(100.0)
+        model.sample()            # setup epoch (outside window)
+        model.begin_window()      # t=100
+        yield Delay(100.0)
+        model.sample()            # in-window epoch, t=200
+        yield Delay(100.0)
+        model.end_window()        # closes the final in-window epoch, t=300
+        yield Delay(100.0)
+        model.sample()            # drain epoch (outside window), t=400
+
+    sim.run_process(work())
+    full = model.stats.series("fpga_mhz")
+    window = model.window_series("fpga_mhz")
+    assert full.count == 4
+    assert window.count == 2      # t=200 and end_window's t=300 epoch
+    assert window.times == [200.0, 300.0]
+
+
+def test_ladder_governor_validation():
+    with pytest.raises(ValueError, match="ladder must be positive"):
+        LadderGovernor(freqs_mhz=(0, 100))
+    with pytest.raises(ValueError, match="patience"):
+        LadderGovernor(patience=0)
+    with pytest.raises(ValueError, match="down_threshold"):
+        LadderGovernor(up_threshold=0.1, down_threshold=0.5)
+
+
+def test_energy_cap_governor_tracks_budget():
+    governor = EnergyCapGovernor(budget_mw=3.0, freqs_mhz=(50, 100, 200, 400),
+                                 headroom=0.8)
+    assert governor.decide(_epoch(power_mw=4.0)) == 200.0   # over budget
+    assert governor.decide(_epoch(power_mw=3.5)) == 100.0   # still over
+    assert governor.decide(_epoch(power_mw=2.9)) is None    # inside the band
+    assert governor.decide(_epoch(power_mw=1.0)) == 200.0   # well under
+
+
+def test_governor_requires_power_modeling():
+    system = build_system(DollyConfig.dolly(1, 1))
+    with pytest.raises(RuntimeError, match="without power modeling"):
+        FixedGovernor().attach(system)
+
+
+def test_fixed_governor_pins_frequency_through_retune_path():
+    config = DollyConfig.dolly(1, 1, power=PowerConfig(enabled=True))
+    system = build_system(config)
+    from repro.power.experiments import BurstComputeAccelerator, _burst_registers
+    system.install_accelerator(BurstComputeAccelerator(), registers=_burst_registers())
+    FixedGovernor(freq_mhz=123.0).attach(system)
+    assert system.adapter.fpga_domain.freq_mhz == pytest.approx(123.0)
+
+
+# --------------------------------------------------------------------------- #
+# The experiments (acceptance criteria)
+# --------------------------------------------------------------------------- #
+def test_dvfs_ladder_beats_fixed_mid_on_energy_at_equal_or_better_runtime():
+    """The headline DVFS demonstration: on the bursty workload the ladder
+    governor uses less energy than the fixed mid-frequency choice *and*
+    finishes no later (race-to-idle wins both axes)."""
+    ladder = run_bursty("ladder")
+    fixed_mid = run_bursty("fixed_mid")
+    assert ladder["correct"] and fixed_mid["correct"]
+    assert ladder["energy_nj"] < fixed_mid["energy_nj"]
+    assert ladder["runtime_ns"] <= fixed_mid["runtime_ns"]
+    # It also undercuts the fixed maximum on energy (at a small runtime cost).
+    fixed_max = run_bursty("fixed_max")
+    assert ladder["energy_nj"] < fixed_max["energy_nj"]
+    assert ladder["edp_nj_ms"] < fixed_max["edp_nj_ms"] * 1.1
+
+
+def test_dvfs_policy_rows_are_deterministic():
+    first = dvfs_policy_cell("ladder")
+    second = dvfs_policy_cell("ladder")
+    assert first == second
+
+
+def test_power_efficiency_rows_are_deterministic_and_complete():
+    first = power_efficiency_cell("duet", "1x1", 100.0, vectors=4)
+    second = power_efficiency_cell("duet", "1x1", 100.0, vectors=4)
+    assert first == second
+    row = first[0]
+    for column in ("energy_nj", "edp_nj_ms", "perf_per_watt", "avg_power_mw",
+                   "runtime_ns", "correct"):
+        assert column in row
+    assert row["correct"]
+    assert row["energy_nj"] > 0 and row["edp_nj_ms"] > 0 and row["perf_per_watt"] > 0
+
+
+def test_power_efficiency_cpu_rows_ignore_fpga_clock():
+    # The CPU-only baseline runs once, at the anchor clock of the sweep...
+    row = power_efficiency_cell("cpu", "1x1", 50.0, vectors=4)[0]
+    assert row["fpga_mhz"] is None
+    assert row["fpga_mhz_requested"] is None
+    # ...and skips the other (identical) grid points instead of
+    # re-simulating and duplicating the row.
+    assert power_efficiency_cell("cpu", "1x1", 100.0, vectors=4) == []
+    assert power_efficiency_cell("cpu", "1x1", 100.0, vectors=4,
+                                 cpu_anchor_mhz=100.0) != []
+
+
+def test_power_efficiency_emits_one_cpu_row_per_shape():
+    results = Runner().run("power_efficiency", use_cache=False,
+                           system="cpu", pm="1x1", vectors=4)
+    assert len(results) == 1
+
+
+def test_experiments_are_registered():
+    power_spec = get_experiment("power_efficiency")
+    assert set(power_spec.grid) == {"system", "pm", "fpga_mhz"}
+    dvfs_spec = get_experiment("dvfs_policy")
+    assert dvfs_spec.grid["governor"] == GOVERNOR_KINDS
+
+
+def test_dvfs_policy_runs_through_the_runner_with_summary():
+    results = Runner().run("dvfs_policy", use_cache=False,
+                           governor=("fixed_mid", "ladder"),
+                           bursts=2, items_per_burst=3, idle_ns=8000.0)
+    assert len(results) == 2
+    assert 0 < results.summary["ladder_energy_vs_fixed_mid"] < 1.0
+    assert results.summary["ladder_runtime_vs_fixed_mid"] <= 1.0
+
+
+def test_power_efficiency_runs_through_the_runner(tmp_path):
+    results = Runner().run("power_efficiency", use_cache=False,
+                           system="duet", pm="1x1", fpga_mhz=(50.0, 150.0),
+                           vectors=4)
+    assert len(results) == 2
+    by_mhz = {row["fpga_mhz"]: row for row in results.rows}
+    assert set(by_mhz) == {50.0, 150.0}
+    # Higher clock -> faster; the sweep exists to expose the energy trade.
+    assert by_mhz[150.0]["runtime_ns"] < by_mhz[50.0]["runtime_ns"]
+
+
+def test_probe_snapshot_and_repr():
+    probe = PowerProbe()
+    probe.cache_accesses += 2
+    snap = probe.snapshot()
+    assert snap["cache_accesses"] == 2
+    assert set(snap) == set(PowerProbe.__slots__)
