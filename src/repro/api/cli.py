@@ -259,8 +259,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--gate", action="append",
                         default=None, metavar="BENCH",
                         help="benchmark name that fails the run on regression "
-                             "(repeatable; default: kernel_events_per_sec and "
-                             "noc_messages_per_sec)")
+                             "(repeatable; default: kernel_events_per_sec, "
+                             "noc_messages_per_sec, "
+                             "noc_messages_per_sec_hooks_on and "
+                             "serve_requests_per_sec)")
     p_perf.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     p_perf.set_defaults(func=cmd_perf)

@@ -412,3 +412,43 @@ register_experiment(ExperimentSpec(
     summarize=power_experiments.dvfs_policy_summary,
     tags=("power", "dvfs", "synthetic"),
 ))
+
+
+# --------------------------------------------------------------------------- #
+# Serving experiments (cells live in repro.serve.experiments, which must not
+# import repro.api — see its module docstring and docs/serving.md)
+# --------------------------------------------------------------------------- #
+from repro.serve import experiments as serve_experiments  # noqa: E402
+from repro.serve.scheduler import POLICY_KINDS  # noqa: E402
+
+register_experiment(ExperimentSpec(
+    name="serve_policy",
+    cell=serve_experiments.serve_policy_cell,
+    title="Serving — Scheduling Policy x Arrival Rate x Tenant Mix",
+    description="Multi-tenant request serving on a shared eFPGA fabric: "
+                "per-tenant p50/p95/p99 latency, goodput (SLO-met "
+                "completions/s), shed load and reconfiguration overhead "
+                "(see docs/serving.md).",
+    grid={"policy": POLICY_KINDS,
+          "arrival_rate_krps": (100.0, 250.0, 400.0),
+          "tenant_mix": ("duo", "quad")},
+    fixed={"duration_us": 2_000.0, "num_fabrics": 1, "queue_capacity": 64,
+           "patience_ns": 100_000.0, "seed": serve_experiments.DEFAULT_SEED},
+    summarize=serve_experiments.serve_policy_summary,
+    tags=("serve", "sweep", "slo"),
+))
+
+register_experiment(ExperimentSpec(
+    name="serve_energy",
+    cell=serve_experiments.serve_energy_cell,
+    title="Serving — Energy per Request by Scheduling Policy",
+    description="The duo tenant mix with repro.power accounting attached: "
+                "energy per served request, average power and the "
+                "reconfiguration energy share (see docs/serving.md).",
+    grid={"policy": POLICY_KINDS},
+    fixed={"arrival_rate_krps": 250.0, "tenant_mix": "duo",
+           "duration_us": 2_000.0, "queue_capacity": 64,
+           "patience_ns": 100_000.0, "seed": serve_experiments.DEFAULT_SEED},
+    summarize=serve_experiments.serve_energy_summary,
+    tags=("serve", "power", "efficiency"),
+))

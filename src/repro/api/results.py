@@ -122,6 +122,29 @@ class ResultSet:
             for key, rows in groups.items()
         }
 
+    def percentile(self, column: str, q: float) -> Optional[float]:
+        """Nearest-rank percentile of ``column`` over the rows (``q`` in 0..1).
+
+        Ragged data is tolerated: rows missing the column, and rows whose
+        value is not a real number (strings, ``None``, booleans), are
+        skipped.  Returns ``None`` when no usable value remains, so callers
+        can tell "no data" apart from a measured 0.0.  Uses the same
+        nearest-rank convention as :meth:`repro.sim.stats.Histogram.percentile`,
+        so serve reports and in-sim SLO monitors agree on what "p99" means.
+        """
+        from repro.sim.stats import Histogram
+
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile fraction must be in [0, 1], got {q}")
+        values = [
+            float(value) for row in self.rows
+            for value in (row.get(column),)
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+        if not values:
+            return None
+        return Histogram(column, samples=values).percentile(q)
+
     def pivot(self, index: str, columns: str, values: str) -> Tuple[List[str], List[List[Any]]]:
         """A (headers, rows) wide table: one row per ``index`` value, one
         column per distinct ``columns`` value, cells from ``values``."""

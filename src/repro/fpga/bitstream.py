@@ -44,9 +44,14 @@ class Bitstream:
         """Return a copy with one byte flipped (for fault-injection tests)."""
         if not self.data:
             raise BitstreamError("cannot corrupt an empty bitstream")
+        if flip_mask & 0xFF == 0:
+            raise BitstreamError(
+                f"flip_mask 0x{flip_mask:X} has no bits in the low byte; "
+                "corrupted() would return an uncorrupted copy"
+            )
         offset %= len(self.data)
         mutated = bytearray(self.data)
-        mutated[offset] ^= flip_mask
+        mutated[offset] ^= flip_mask & 0xFF
         return Bitstream(
             design_name=self.design_name,
             data=bytes(mutated),

@@ -92,6 +92,16 @@ SUITE = [
         unit="samples/s",
         params={"samples": 20_000},
     ),
+    # The gated serving number: requests served per wall second through the
+    # admission queue, affinity policy, programming engine and eFPGA clock
+    # domain on the duo tenant mix (BENCH_serve.json CI artifact).
+    BenchSpec(
+        name="serve_requests_per_sec",
+        fn=micro.serve_request_throughput,
+        unit="requests/s",
+        params={"duration_us": 4_000.0, "arrival_rate_krps": 250.0,
+                "policy": "affinity"},
+    ),
     BenchSpec(
         name="noc_messages_per_sec_torus",
         fn=micro.noc_message_throughput,

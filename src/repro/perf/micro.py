@@ -26,6 +26,10 @@ budget:
 * :func:`energy_sample_rate` — epoch closes per wall second of a busy
   :class:`~repro.power.EnergyModel`: the accounting layer's own overhead,
   published in the ``BENCH_power.json`` CI artifact.
+* :func:`serve_request_throughput` — served requests per wall second
+  through the :mod:`repro.serve` subsystem on the two-tenant
+  reconfiguration-pressure mix: the gated ``serve_requests_per_sec``
+  number, published in the ``BENCH_serve.json`` CI artifact.
 
 All of them return a rate (per wall second), so *higher is better* and
 regressions show up as ratios < 1 against the recorded baseline.
@@ -168,6 +172,35 @@ def noc_hop_throughput(messages: int = 2_000, width: int = 4, height: int = 4) -
     """The 4x4 mesh-diagonal variant tracked since the PR 2 baseline."""
     return noc_message_throughput(messages=messages, width=width, height=height,
                                   topology="mesh")
+
+
+def serve_request_throughput(duration_us: float = 4_000.0,
+                             arrival_rate_krps: float = 250.0,
+                             policy: str = "affinity") -> float:
+    """Served requests per wall second through the serving subsystem.
+
+    Runs the canonical two-tenant reconfiguration-pressure mix (``duo``)
+    through one fabric under the given policy — every request exercises the
+    admission queue, the policy's select, the Control Hub programming
+    engine on bitstream switches, and the eFPGA clock-domain wait — so this
+    number tracks the serving hot path end to end.  The workload is fully
+    deterministic, so only the wall clock varies between repeats.
+    """
+    from repro.serve.experiments import run_serve
+
+    start = time.perf_counter()
+    outcome = run_serve(policy, tenant_mix="duo",
+                        arrival_rate_krps=arrival_rate_krps,
+                        duration_us=duration_us)
+    elapsed = time.perf_counter() - start
+    aggregate = [row for row in outcome["rows"] if row["tenant"] == "__all__"][0]
+    completed = aggregate["completed"]
+    if completed <= 0 or aggregate["shed"] + completed != aggregate["submitted"]:
+        raise RuntimeError(
+            f"serve bench lost requests: completed={completed} "
+            f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
+        )
+    return completed / elapsed
 
 
 def energy_sample_rate(samples: int = 20_000) -> float:

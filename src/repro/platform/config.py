@@ -71,11 +71,19 @@ class DollyConfig:
                 f"fpga_mhz must be positive when set, got {self.fpga_mhz} "
                 "(leave it None to run at the accelerator's post-route Fmax)"
             )
-        if self.noc_topology not in TOPOLOGY_KINDS:
+        # Validate the topology name here, at configuration time, so a typo
+        # fails immediately with the full list of valid fabrics instead of
+        # surfacing later inside make_topology during system construction.
+        # Case and surrounding whitespace are normalized first, so
+        # ``noc_topology="Mesh"`` selects the mesh rather than erroring.
+        normalized = str(self.noc_topology).strip().lower()
+        if normalized not in TOPOLOGY_KINDS:
             known = ", ".join(sorted(TOPOLOGY_KINDS))
             raise ValueError(
-                f"unknown NoC topology {self.noc_topology!r}; known kinds: {known}"
+                f"unknown NoC topology {self.noc_topology!r}; "
+                f"valid topologies: {known}"
             )
+        self.noc_topology = normalized
 
     # ------------------------------------------------------------------ #
     # Naming and layout helpers

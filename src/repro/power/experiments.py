@@ -20,7 +20,7 @@ built and registered in :mod:`repro.api.registry`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.registers import RegisterKind, RegisterSpec
 from repro.fpga.accelerator import SoftAccelerator
@@ -242,13 +242,17 @@ def make_governor(kind: str, epoch_ns: float = GOVERNOR_EPOCH_NS) -> Governor:
 
 def run_bursty(governor_kind: str, bursts: int = 4, items_per_burst: int = 6,
                idle_ns: float = 20_000.0, compute_cycles: int = 64,
-               seed: int = DEFAULT_SEED) -> Dict[str, Any]:
+               seed: int = DEFAULT_SEED,
+               governor: Optional[Governor] = None) -> Dict[str, Any]:
     """Run the bursty workload on Dolly-P1M1 under one governor.
 
     Each burst pushes ``items_per_burst`` items through the accelerator's
     command FIFO back to back; between bursts the core stalls for
     ``idle_ns`` of system-clock time (idle duration is frequency-
-    independent, as a device waiting for work would be).
+    independent, as a device waiting for work would be).  Pass a ready
+    ``governor`` to drive the same workload under a custom configuration
+    (e.g. an :class:`EnergyCapGovernor` with a non-default budget);
+    ``governor_kind`` then only labels the row.
     """
     import random
 
@@ -256,7 +260,8 @@ def run_bursty(governor_kind: str, bursts: int = 4, items_per_burst: int = 6,
     system = build_system(config)
     accelerator = BurstComputeAccelerator(compute_cycles=compute_cycles)
     system.install_accelerator(accelerator, registers=_burst_registers())
-    governor = make_governor(governor_kind)
+    if governor is None:
+        governor = make_governor(governor_kind)
     governor.attach(system)
     system.start_accelerator()
     adapter = system.adapter

@@ -1,0 +1,255 @@
+"""The serving experiments: ``serve_policy`` and ``serve_energy``.
+
+``serve_policy`` sweeps scheduling policy x offered arrival rate x tenant
+mix and reports per-tenant tail latency (p50/p95/p99), goodput (completions
+*within SLO* per second), shed counts and the fabric's reconfiguration
+overhead.  It is the experiment that shows the reconfiguration-affinity
+policy beating FCFS on p99 and goodput once two tenants contend for one
+fabric with different bitstreams.
+
+``serve_energy`` reruns a single-fabric deployment with the
+:mod:`repro.power` accounting attached and reports energy per served
+request, average power, and the energy share lost to reconfiguration —
+the serving counterpart of the ``power_efficiency`` experiment.
+
+Cells are module-level and seed-deterministic (picklable for the
+process-pool executor, cacheable by the runner).  This module must not
+import anything from :mod:`repro.api` — the registry imports *us*; the
+:class:`~repro.api.spec.ExperimentSpec` objects wrapping these cells are
+built in :mod:`repro.api.registry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.scheduler import FabricScheduler, ServeConfig
+from repro.serve.slo import SloMonitor
+from repro.serve.traffic import TenantSpec, build_sources
+from repro.sim import Simulator
+
+DEFAULT_SEED = 2023
+
+#: Named tenant mixes for the sweep grids.  ``duo`` is the canonical
+#: reconfiguration-pressure mix: two equal open-loop tenants whose
+#: accelerators need different bitstreams on the same fabric.  ``quad``
+#: adds a bursty batch tenant and a high-priority closed-loop tenant.
+TENANT_MIXES: Dict[str, Tuple[TenantSpec, ...]] = {
+    "mono": (
+        TenantSpec(name="alpha", accelerator="popcount", pattern="poisson",
+                   weight=1.0, slo_ns=25_000.0),
+    ),
+    "duo": (
+        TenantSpec(name="alpha", accelerator="popcount", pattern="poisson",
+                   weight=0.5, slo_ns=30_000.0),
+        TenantSpec(name="beta", accelerator="sort64", pattern="poisson",
+                   weight=0.5, slo_ns=30_000.0),
+    ),
+    "quad": (
+        TenantSpec(name="alpha", accelerator="popcount", pattern="poisson",
+                   weight=0.4, slo_ns=30_000.0),
+        TenantSpec(name="beta", accelerator="sort64", pattern="bursty",
+                   weight=0.4, slo_ns=50_000.0),
+        TenantSpec(name="gamma", accelerator="tangent", pattern="diurnal",
+                   weight=0.2, slo_ns=50_000.0),
+        TenantSpec(name="delta", accelerator="dijkstra", pattern="closed",
+                   clients=2, think_ns=80_000.0, priority=1, slo_ns=100_000.0),
+    ),
+}
+
+MIX_NAMES: Tuple[str, ...] = tuple(TENANT_MIXES)
+
+
+def get_mix(name: str) -> Tuple[TenantSpec, ...]:
+    try:
+        return TENANT_MIXES[name]
+    except KeyError:
+        known = ", ".join(TENANT_MIXES)
+        raise KeyError(f"unknown tenant mix {name!r}; known mixes: {known}") from None
+
+
+# --------------------------------------------------------------------------- #
+# The serve driver shared by both experiments (and the perf benchmark)
+# --------------------------------------------------------------------------- #
+def run_serve(
+    policy: str,
+    tenant_mix: str = "duo",
+    arrival_rate_krps: float = 150.0,
+    duration_us: float = 2_000.0,
+    num_fabrics: int = 1,
+    queue_capacity: Optional[int] = 64,
+    patience_ns: float = 100_000.0,
+    seed: int = DEFAULT_SEED,
+    power: bool = False,
+    max_events: int = 20_000_000,
+) -> Dict[str, Any]:
+    """Run one serving deployment to completion; returns rows + aggregates.
+
+    The run is *open*: traffic stops arriving after ``duration_us`` of
+    simulated time, the scheduler then drains its queue, and the measured
+    window covers everything from the first arrival opportunity to the last
+    completion — so an overloaded policy pays for its backlog in the
+    goodput denominator instead of hiding it.
+    """
+    tenants = get_mix(tenant_mix)
+    sim = Simulator()
+    config = ServeConfig(
+        policy=policy,
+        num_fabrics=num_fabrics,
+        queue_capacity=queue_capacity,
+        patience_ns=patience_ns,
+        accelerators=tuple(dict.fromkeys(t.accelerator for t in tenants)),
+    )
+    monitor = SloMonitor(sim)
+    scheduler = FabricScheduler(sim, config, monitor=monitor)
+
+    energy = None
+    if power:
+        energy = _attach_energy(sim, scheduler)
+
+    duration_ns = duration_us * 1000.0
+    sources = build_sources(
+        sim, tenants, scheduler.submit,
+        total_rate_rps=arrival_rate_krps * 1000.0,
+        duration_ns=duration_ns, seed=seed,
+    )
+    processes = [process for source in sources for process in source.start()]
+
+    def supervisor():
+        for process in processes:
+            if not process.finished:
+                yield process
+        scheduler.close()
+
+    sim.process(supervisor(), name="serve.supervisor")
+    if energy is not None:
+        energy.begin_window()
+    sim.run(max_events=max_events)
+    elapsed_ns = max(sim.now, duration_ns)
+    if energy is not None:
+        energy.end_window()
+
+    totals = scheduler.fabric_totals()
+    extra: Dict[str, Any] = {
+        "policy": policy,
+        "tenant_mix": tenant_mix,
+        "arrival_rate_krps": arrival_rate_krps,
+        "num_fabrics": num_fabrics,
+    }
+    rows = monitor.tenant_rows(elapsed_ns, extra=extra)
+    busy_us = totals["service_us_total"] + totals["reconfig_us_total"]
+    for row in rows:
+        row.update(totals)
+        row["reconfig_overhead"] = (
+            totals["reconfig_us_total"] / busy_us if busy_us > 0 else 0.0)
+        row["elapsed_us"] = elapsed_ns / 1000.0
+    if energy is not None:
+        _add_energy_columns(rows, energy)
+    return {"rows": rows, "scheduler": scheduler, "monitor": monitor,
+            "energy": energy, "elapsed_ns": elapsed_ns}
+
+
+def _attach_energy(sim: Simulator, scheduler: FabricScheduler):
+    """Wire a standalone :class:`EnergyModel` onto a one-fabric deployment."""
+    from repro.power.model import EnergyModel, PowerConfig
+
+    if len(scheduler.fabrics) != 1:
+        raise ValueError(
+            "energy accounting supports exactly one fabric per deployment "
+            f"(the EnergyModel tracks one eFPGA clock domain), got "
+            f"{len(scheduler.fabrics)}"
+        )
+    fabric = scheduler.fabrics[0]
+    energy = EnergyModel(PowerConfig(enabled=True), sim, name="serve.energy")
+    energy.sys_domain = scheduler.sys_domain
+    energy.fpga_domain = fabric.clock_generator.fpga_domain
+    # One control tile; the fabric silicon is provisioned for the largest
+    # catalog bitstream it may host (fixed leakage area, like real silicon).
+    energy.num_tiles = 1
+    energy.set_efpga_area(max(
+        accelerator.synthesis.area_mm2
+        for accelerator in scheduler.accelerators.values()
+    ))
+    fabric.energy = energy
+    return energy
+
+
+def _add_energy_columns(rows: List[Dict[str, Any]], energy) -> None:
+    window_nj = (energy.last_window_pj or 0.0) / 1000.0
+    for row in rows:
+        if row["tenant"] != "__all__":
+            continue
+        completed = row["completed"]
+        row["energy_nj"] = window_nj
+        row["energy_per_request_nj"] = window_nj / completed if completed else 0.0
+        row["avg_power_mw"] = energy.last_window_avg_power_mw
+        breakdown = energy.last_window_breakdown
+        fpga_nj = breakdown.get("fpga", 0.0) / 1000.0
+        row["e_fpga_nj"] = fpga_nj
+        row["e_static_nj"] = breakdown.get("static", 0.0) / 1000.0
+        row["e_clock_nj"] = breakdown.get("clock", 0.0) / 1000.0
+
+
+# --------------------------------------------------------------------------- #
+# Experiment cells
+# --------------------------------------------------------------------------- #
+def serve_policy_cell(policy: str, arrival_rate_krps: float, tenant_mix: str,
+                      duration_us: float = 2_000.0, num_fabrics: int = 1,
+                      queue_capacity: int = 64, patience_ns: float = 100_000.0,
+                      seed: int = DEFAULT_SEED) -> List[Dict[str, Any]]:
+    outcome = run_serve(
+        policy, tenant_mix=tenant_mix, arrival_rate_krps=arrival_rate_krps,
+        duration_us=duration_us, num_fabrics=num_fabrics,
+        queue_capacity=queue_capacity, patience_ns=patience_ns, seed=seed,
+    )
+    return outcome["rows"]
+
+
+def serve_policy_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Compare policies on the aggregate rows, per (mix, rate) point."""
+    aggregates = [row for row in rows if row.get("tenant") == "__all__"]
+    summary: Dict[str, Any] = {}
+    points = sorted({(row["tenant_mix"], row["arrival_rate_krps"])
+                     for row in aggregates})
+    for mix, rate in points:
+        cell = {row["policy"]: row for row in aggregates
+                if row["tenant_mix"] == mix and row["arrival_rate_krps"] == rate}
+        if not cell:
+            continue
+        label = f"{mix}@{rate:g}krps"
+        best = min(cell.values(), key=lambda row: row["p99_latency_us"])
+        summary[f"best_p99_policy[{label}]"] = best["policy"]
+        fcfs, affinity = cell.get("fcfs"), cell.get("affinity")
+        if fcfs and affinity and fcfs["p99_latency_us"] > 0:
+            summary[f"affinity_p99_vs_fcfs[{label}]"] = (
+                affinity["p99_latency_us"] / fcfs["p99_latency_us"])
+        if fcfs and affinity and fcfs["goodput_krps"] > 0:
+            summary[f"affinity_goodput_vs_fcfs[{label}]"] = (
+                affinity["goodput_krps"] / fcfs["goodput_krps"])
+    return summary
+
+
+def serve_energy_cell(policy: str, arrival_rate_krps: float = 150.0,
+                      tenant_mix: str = "duo", duration_us: float = 2_000.0,
+                      queue_capacity: int = 64, patience_ns: float = 100_000.0,
+                      seed: int = DEFAULT_SEED) -> List[Dict[str, Any]]:
+    outcome = run_serve(
+        policy, tenant_mix=tenant_mix, arrival_rate_krps=arrival_rate_krps,
+        duration_us=duration_us, num_fabrics=1,
+        queue_capacity=queue_capacity, patience_ns=patience_ns, seed=seed,
+        power=True,
+    )
+    # Energy is deployment-wide, so the energy experiment reports only the
+    # aggregate row per cell.
+    return [row for row in outcome["rows"] if row["tenant"] == "__all__"]
+
+
+def serve_energy_summary(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    usable = [row for row in rows if row.get("energy_per_request_nj", 0.0) > 0]
+    if not usable:
+        return {}
+    best = min(usable, key=lambda row: row["energy_per_request_nj"])
+    return {
+        "least_energy_per_request_policy": best["policy"],
+        "least_energy_per_request_nj": best["energy_per_request_nj"],
+    }

@@ -1,0 +1,367 @@
+"""Reconfiguration-aware multiplexing of eFPGA fabrics across tenants.
+
+A :class:`FabricScheduler` owns a bounded admission queue and one worker
+process per :class:`FabricContext`.  Each fabric is a real slice of the
+existing simulation stack — a :class:`~repro.core.control_hub.ControlHub`
+on its own one-tile NoC plus a
+:class:`~repro.fpga.clocking.ProgrammableClockGenerator` — so switching a
+fabric between two tenants' accelerators pays the *actual* programming
+engine transfer time (``config_bits / programming_bits_per_cycle`` system
+cycles through :meth:`ControlHub.program`) and retunes the eFPGA clock
+through the same Fmax-clamped path software retunes use.
+
+Scheduling policies are pluggable (:data:`POLICY_KINDS`):
+
+* ``fcfs`` — strict arrival order;
+* ``sjf`` — shortest estimated service first (ties by arrival);
+* ``priority`` — highest tenant priority first (ties by arrival);
+* ``affinity`` — serve requests matching the fabric's currently programmed
+  bitstream first, falling back to the oldest request when nothing matches
+  or when the head of the queue has waited longer than ``patience_ns``
+  (the starvation guard).  Batching same-bitstream requests amortizes the
+  reconfiguration cost, which is the serving-side payoff of bitstream
+  programmability.
+
+Everything is driven by simulated time and seeded randomness only, so a
+serve run is exactly as deterministic as any other experiment cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.control_hub import ControlHub, ControlHubConfig
+from repro.cpu.mmio import MmioMap
+from repro.fpga.clocking import ProgrammableClockGenerator
+from repro.noc import NocNetwork, TileRouter, make_topology
+from repro.serve.catalog import ServedAccelerator, materialize
+from repro.serve.slo import SloMonitor
+from repro.serve.traffic import Request
+from repro.sim import Simulator, StatSet
+from repro.sim.clock import ClockDomain
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling policies
+# --------------------------------------------------------------------------- #
+class SchedulingPolicy:
+    """Picks the next request a fabric should serve from the pending list.
+
+    ``select`` returns an *index* into ``pending`` (kept in arrival order);
+    implementations must be pure functions of the queue and fabric state so
+    scheduling stays deterministic.
+    """
+
+    kind = "fcfs"
+
+    def select(self, pending: List[Request], fabric: "FabricContext") -> int:
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class FcfsPolicy(SchedulingPolicy):
+    """First come, first served — the baseline every policy is judged against."""
+
+    kind = "fcfs"
+
+
+class SjfPolicy(SchedulingPolicy):
+    """Shortest estimated job first (estimated in simulated service time)."""
+
+    kind = "sjf"
+
+    def select(self, pending: List[Request], fabric: "FabricContext") -> int:
+        return min(range(len(pending)),
+                   key=lambda i: (fabric.estimate_service_ns(pending[i]), i))
+
+
+class PriorityPolicy(SchedulingPolicy):
+    """Highest tenant priority first; arrival order breaks ties."""
+
+    kind = "priority"
+
+    def select(self, pending: List[Request], fabric: "FabricContext") -> int:
+        return min(range(len(pending)),
+                   key=lambda i: (-pending[i].priority, i))
+
+
+class AffinityPolicy(SchedulingPolicy):
+    """Batch requests for the currently programmed bitstream.
+
+    If the oldest pending request has waited longer than ``patience_ns``
+    the policy degenerates to FCFS for that pick — bounding how long a
+    minority tenant can starve behind a popular bitstream.
+    """
+
+    kind = "affinity"
+
+    def __init__(self, patience_ns: float = 100_000.0) -> None:
+        if patience_ns < 0:
+            raise ValueError(f"patience_ns cannot be negative, got {patience_ns}")
+        self.patience_ns = patience_ns
+
+    def select(self, pending: List[Request], fabric: "FabricContext") -> int:
+        head = pending[0]
+        now = fabric.sim.now
+        if now - head.arrival_ns > self.patience_ns:
+            return 0
+        current = fabric.current_design
+        if current is not None:
+            for index, request in enumerate(pending):
+                if request.accelerator == current:
+                    return index
+        return 0
+
+
+POLICY_KINDS: Tuple[str, ...] = ("fcfs", "sjf", "priority", "affinity")
+
+
+def make_policy(kind: str, patience_ns: float = 100_000.0) -> SchedulingPolicy:
+    if kind == "fcfs":
+        return FcfsPolicy()
+    if kind == "sjf":
+        return SjfPolicy()
+    if kind == "priority":
+        return PriorityPolicy()
+    if kind == "affinity":
+        return AffinityPolicy(patience_ns=patience_ns)
+    known = ", ".join(POLICY_KINDS)
+    raise ValueError(f"unknown scheduling policy {kind!r}; known policies: {known}")
+
+
+# --------------------------------------------------------------------------- #
+# One servable fabric
+# --------------------------------------------------------------------------- #
+class FabricContext:
+    """One eFPGA fabric: Control Hub, clock generator, programmed state."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sys_domain: ClockDomain,
+        tile_router: TileRouter,
+        mmio_map: MmioMap,
+        accelerators: Dict[str, ServedAccelerator],
+        index: int = 0,
+        fpga_mhz: Optional[float] = None,
+        hub_config: Optional[ControlHubConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.sys_domain = sys_domain
+        self.index = index
+        self.name = f"fabric{index}"
+        self.accelerators = accelerators
+        #: Requested service clock; ``None`` runs each accelerator at Fmax.
+        self.fpga_mhz = fpga_mhz
+        self.clock_generator = ProgrammableClockGenerator(
+            sim, sys_domain, name=f"{self.name}.clkgen")
+        self.control_hub = ControlHub(
+            sim, sys_domain, tile_router, mmio_map, self.clock_generator,
+            config=hub_config, name=f"{self.name}.ctrl")
+        self.current_design: Optional[str] = None
+        self.busy = False
+        self.stats = StatSet(f"{self.name}.stats")
+        self.reconfigurations = 0
+        self.reconfig_ns_total = 0.0
+        self.service_ns_total = 0.0
+        #: Energy hook: when set, served cycles and clock retunes feed the
+        #: attached :class:`~repro.power.model.EnergyModel` (see run_serve).
+        self.energy = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection used by policies
+    # ------------------------------------------------------------------ #
+    def clock_mhz_for(self, accelerator: ServedAccelerator) -> float:
+        """The clock the generator would settle at for this accelerator."""
+        target = self.fpga_mhz if self.fpga_mhz is not None else accelerator.fmax_mhz
+        return min(target, accelerator.fmax_mhz)
+
+    def estimate_service_ns(self, request: Request) -> float:
+        """Pure service-time estimate (no queueing, no reconfiguration)."""
+        accelerator = self.accelerators[request.accelerator]
+        cycles = accelerator.service_cycles(request.size)
+        return cycles * 1000.0 / self.clock_mhz_for(accelerator)
+
+    # ------------------------------------------------------------------ #
+    # The serve path (generators driven by the scheduler worker)
+    # ------------------------------------------------------------------ #
+    def reconfigure(self, accelerator: ServedAccelerator):
+        """Program ``accelerator``'s bitstream and retune the eFPGA clock."""
+        started = self.sim.now
+        if self.energy is not None:
+            # Close the accounting epoch at the old frequency before the
+            # retune so each epoch integrates at the voltage that applied.
+            self.energy.sample()
+        yield from self.control_hub.program(accelerator.bitstream)
+        self.clock_generator.set_max_frequency(accelerator.fmax_mhz)
+        self.clock_generator.set_frequency(self.clock_mhz_for(accelerator))
+        self.current_design = accelerator.name
+        self.reconfigurations += 1
+        elapsed = self.sim.now - started
+        self.reconfig_ns_total += elapsed
+        self.stats.counter("reconfigurations").increment()
+        self.stats.histogram("reconfig_ns").record(elapsed)
+        return elapsed
+
+    def serve(self, request: Request):
+        """Occupy the fabric for the request's service time."""
+        accelerator = self.accelerators[request.accelerator]
+        if self.current_design != accelerator.name:
+            yield from self.reconfigure(accelerator)
+        request.start_ns = self.sim.now
+        cycles = accelerator.service_cycles(request.size)
+        if self.energy is not None:
+            self.energy.probe.fpga_active_cycles += cycles
+        domain = self.clock_generator.fpga_domain
+        yield domain.wait_cycles(cycles)
+        request.finish_ns = self.sim.now
+        self.service_ns_total += request.finish_ns - request.start_ns
+        self.stats.counter("served").increment()
+        return request
+
+
+# --------------------------------------------------------------------------- #
+# The scheduler
+# --------------------------------------------------------------------------- #
+@dataclass
+class ServeConfig:
+    """Static configuration of one serving deployment."""
+
+    policy: str = "fcfs"
+    num_fabrics: int = 1
+    system_mhz: float = 1000.0
+    #: ``None`` runs every accelerator at its own post-route Fmax.
+    fpga_mhz: Optional[float] = None
+    #: Bounded admission queue; ``None`` means unbounded (never shed).
+    queue_capacity: Optional[int] = 64
+    #: Affinity starvation guard (see :class:`AffinityPolicy`).
+    patience_ns: float = 100_000.0
+    #: Which catalog entries this deployment can serve.
+    accelerators: Tuple[str, ...] = ()
+    control_hub: ControlHubConfig = field(default_factory=ControlHubConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_fabrics < 1:
+            raise ValueError(f"need at least one fabric, got {self.num_fabrics}")
+        if self.queue_capacity is not None and self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1 or None, got {self.queue_capacity}")
+        make_policy(self.policy, patience_ns=self.patience_ns)  # fail fast
+
+
+class FabricScheduler:
+    """Admission queue + per-fabric worker processes."""
+
+    def __init__(self, sim: Simulator, config: ServeConfig,
+                 monitor: Optional[SloMonitor] = None) -> None:
+        if not config.accelerators:
+            raise ValueError("ServeConfig.accelerators must name >= 1 catalog entry")
+        self.sim = sim
+        self.config = config
+        self.monitor = monitor or SloMonitor(sim)
+        self.policy = make_policy(config.policy, patience_ns=config.patience_ns)
+        self.sys_domain = ClockDomain(sim, config.system_mhz, "serve-sys")
+        # Pre-materialize every servable bitstream once (the offline
+        # synthesis the paper's toolchain performs).
+        self.accelerators: Dict[str, ServedAccelerator] = {}
+        for name in config.accelerators:
+            if name not in self.accelerators:
+                self.accelerators[name] = materialize(name)
+        # One tile per fabric on a private control NoC.
+        network = NocNetwork(sim, self.sys_domain,
+                             topology=make_topology("mesh", config.num_fabrics, 1))
+        mmio_map = MmioMap()
+        self.fabrics = [
+            FabricContext(
+                sim, self.sys_domain, TileRouter(network, node), mmio_map,
+                self.accelerators, index=node, fpga_mhz=config.fpga_mhz,
+                hub_config=config.control_hub,
+            )
+            for node in range(config.num_fabrics)
+        ]
+        self.pending: List[Request] = []
+        self.closed = False
+        self._work_event = sim.event(name="serve.work")
+        self._drained = sim.event(name="serve.drained")
+        self._in_flight = 0
+        self.workers = [
+            sim.process(self._worker(fabric), name=f"serve.worker{fabric.index}")
+            for fabric in self.fabrics
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Admission (called by traffic sources)
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Request) -> bool:
+        """Admit ``request``; returns False when admission shed it."""
+        request.arrival_ns = self.sim.now
+        capacity = self.config.queue_capacity
+        if self.closed or (capacity is not None and len(self.pending) >= capacity):
+            request.shed = True
+            self.monitor.on_shed(request)
+            if request.completion is not None:
+                request.completion.succeed(request)
+            return False
+        self.pending.append(request)
+        self.monitor.on_submit(request, len(self.pending))
+        self._notify()
+        return True
+
+    def close(self) -> None:
+        """Stop admitting; workers exit once the queue drains."""
+        self.closed = True
+        self._notify()
+
+    def drained(self):
+        """Event that fires when the queue is empty after :meth:`close`."""
+        return self._drained
+
+    def _notify(self) -> None:
+        event = self._work_event
+        self._work_event = self.sim.event(name="serve.work")
+        if not event.triggered:
+            event.succeed()
+
+    # ------------------------------------------------------------------ #
+    # Worker processes (one per fabric)
+    # ------------------------------------------------------------------ #
+    def _worker(self, fabric: FabricContext):
+        served = 0
+        while True:
+            if not self.pending:
+                if self.closed:
+                    break
+                yield self._work_event
+                continue
+            index = self.policy.select(self.pending, fabric)
+            request = self.pending.pop(index)
+            self.monitor.on_dequeue(len(self.pending))
+            self._in_flight += 1
+            fabric.busy = True
+            try:
+                yield from fabric.serve(request)
+            finally:
+                fabric.busy = False
+                self._in_flight -= 1
+            self.monitor.on_complete(request)
+            if request.completion is not None:
+                request.completion.succeed(request)
+            served += 1
+        if (self.closed and not self.pending and self._in_flight == 0
+                and not self._drained.triggered):
+            self._drained.succeed()
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def fabric_totals(self) -> Dict[str, float]:
+        """Aggregate fabric-side accounting for report rows."""
+        return {
+            "reconfigurations": sum(f.reconfigurations for f in self.fabrics),
+            "reconfig_us_total": sum(f.reconfig_ns_total for f in self.fabrics) / 1000.0,
+            "service_us_total": sum(f.service_ns_total for f in self.fabrics) / 1000.0,
+        }

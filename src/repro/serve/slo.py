@@ -1,0 +1,145 @@
+"""Per-tenant service-level accounting for the serving subsystem.
+
+The monitor is pure observation: the scheduler reports admissions,
+sheddings and completions, and everything lands in the standard
+:mod:`repro.sim.stats` primitives — per-tenant latency
+:class:`~repro.sim.stats.Histogram`\\ s (p50/p95/p99 via nearest-rank),
+a queue-depth :class:`~repro.sim.stats.TimeSeries`, and plain counters
+for completions, SLO violations and shed requests.  Goodput is defined the
+strict way: only requests that *completed within their tenant's SLO* count,
+so an overloaded policy cannot buy throughput by blowing the tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.serve.traffic import Request
+from repro.sim import StatSet, TimeSeries
+
+#: The latency percentiles every tenant row reports, as (label, fraction).
+REPORT_PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+@dataclass
+class TenantAccount:
+    """Aggregated outcomes for one tenant."""
+
+    name: str
+    submitted: int = 0
+    completed: int = 0
+    shed: int = 0
+    slo_violations: int = 0
+    slo_ns: float = 0.0
+    #: Completions that met the tenant's SLO (the goodput numerator).
+    good: int = 0
+    service_ns_total: float = 0.0
+    queue_wait_ns_total: float = 0.0
+
+
+class SloMonitor:
+    """Collects per-tenant latency/queue/goodput statistics for one run."""
+
+    def __init__(self, sim, name: str = "serve") -> None:
+        self.sim = sim
+        self.name = name
+        self.stats = StatSet(f"{name}.slo")
+        self.accounts: Dict[str, TenantAccount] = {}
+        self.queue_depth: TimeSeries = self.stats.series("queue_depth")
+
+    # ------------------------------------------------------------------ #
+    # Scheduler-facing recording hooks
+    # ------------------------------------------------------------------ #
+    def _account(self, request: Request) -> TenantAccount:
+        account = self.accounts.get(request.tenant)
+        if account is None:
+            account = TenantAccount(name=request.tenant, slo_ns=request.slo_ns)
+            self.accounts[request.tenant] = account
+        return account
+
+    def on_submit(self, request: Request, queue_depth: int) -> None:
+        self._account(request).submitted += 1
+        self.queue_depth.record(self.sim.now, queue_depth)
+
+    def on_shed(self, request: Request) -> None:
+        account = self._account(request)
+        account.submitted += 1  # shed requests were still offered
+        account.shed += 1
+        self.stats.counter("shed_total").increment()
+
+    def on_dequeue(self, queue_depth: int) -> None:
+        self.queue_depth.record(self.sim.now, queue_depth)
+
+    def on_complete(self, request: Request) -> None:
+        account = self._account(request)
+        account.completed += 1
+        account.queue_wait_ns_total += request.queue_wait_ns
+        account.service_ns_total += request.finish_ns - request.start_ns
+        latency = request.latency_ns
+        self.stats.histogram(f"latency_ns.{request.tenant}").record(latency)
+        self.stats.counter("completed_total").increment()
+        if request.slo_met:
+            account.good += 1
+        elif request.slo_ns > 0:
+            account.slo_violations += 1
+            self.stats.counter("slo_violations_total").increment()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def latency_histogram(self, tenant: str):
+        return self.stats.histogram(f"latency_ns.{tenant}")
+
+    def tenant_rows(self, elapsed_ns: float,
+                    extra: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
+        """One report row per tenant plus an ``__all__`` aggregate row.
+
+        ``elapsed_ns`` is the measured window (goodput denominator);
+        ``extra`` columns (policy, rate, ...) are prepended to every row.
+        Rows are emitted in tenant-name order so reports are deterministic
+        regardless of completion interleaving.
+        """
+        if elapsed_ns <= 0:
+            raise ValueError(f"elapsed_ns must be positive, got {elapsed_ns}")
+        rows: List[Dict[str, Any]] = []
+        totals = TenantAccount(name="__all__")
+        all_latencies: List[float] = []
+        for name in sorted(self.accounts):
+            account = self.accounts[name]
+            histogram = self.latency_histogram(name)
+            all_latencies.extend(histogram.samples)
+            totals.submitted += account.submitted
+            totals.completed += account.completed
+            totals.shed += account.shed
+            totals.slo_violations += account.slo_violations
+            totals.good += account.good
+            totals.service_ns_total += account.service_ns_total
+            totals.queue_wait_ns_total += account.queue_wait_ns_total
+            rows.append(self._row(account, histogram.samples, elapsed_ns, extra))
+        rows.append(self._row(totals, all_latencies, elapsed_ns, extra))
+        return rows
+
+    def _row(self, account: TenantAccount, samples: List[float],
+             elapsed_ns: float, extra: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+        from repro.sim.stats import Histogram
+
+        histogram = Histogram(account.name, samples=list(samples))
+        row: Dict[str, Any] = dict(extra or {})
+        completed = account.completed
+        row.update({
+            "tenant": account.name,
+            "submitted": account.submitted,
+            "completed": completed,
+            "shed": account.shed,
+            "slo_violations": account.slo_violations,
+            "slo_ns": account.slo_ns,
+            "goodput_krps": account.good / elapsed_ns * 1e6,
+            "throughput_krps": completed / elapsed_ns * 1e6,
+            "mean_latency_us": histogram.mean / 1000.0,
+            "mean_queue_wait_us": (
+                account.queue_wait_ns_total / completed / 1000.0 if completed else 0.0),
+        })
+        for label, fraction in REPORT_PERCENTILES:
+            row[f"{label}_latency_us"] = histogram.percentile(fraction) / 1000.0
+        return row

@@ -238,6 +238,51 @@ def test_resultset_deviations(fig9_results):
     assert "paper vs measured" in fig9_results.deviation_table()
 
 
+def test_resultset_percentile_nearest_rank():
+    results = ResultSet("t", [{"x": value} for value in (5, 1, 4, 2, 3)])
+    assert results.percentile("x", 0.0) == 1
+    assert results.percentile("x", 0.5) == 3
+    assert results.percentile("x", 0.99) == 5
+    assert results.percentile("x", 1.0) == 5
+    # Agrees with the in-sim Histogram convention.
+    from repro.sim.stats import Histogram
+
+    histogram = Histogram("x", samples=[5, 1, 4, 2, 3])
+    for q in (0.25, 0.5, 0.9, 0.95):
+        assert results.percentile("x", q) == histogram.percentile(q)
+
+
+def test_resultset_percentile_handles_ragged_and_empty_columns():
+    results = ResultSet("t", [
+        {"x": 10.0, "label": "a"},
+        {"label": "b"},                      # column missing entirely
+        {"x": None, "label": "c"},           # null value
+        {"x": "n/a", "label": "d"},          # non-numeric
+        {"x": True, "label": "e"},           # booleans are not measurements
+        {"x": 30.0, "label": "f"},
+    ])
+    assert results.percentile("x", 0.5) == 10.0
+    assert results.percentile("x", 1.0) == 30.0
+    # No numeric value at all -> None, distinguishable from a measured 0.
+    assert results.percentile("label", 0.5) is None
+    assert ResultSet("t", []).percentile("x", 0.5) is None
+    with pytest.raises(ValueError, match="fraction"):
+        results.percentile("x", 1.5)
+    with pytest.raises(ValueError, match="fraction"):
+        results.percentile("x", -0.1)
+
+
+def test_resultset_percentile_on_serve_rows():
+    """The helper exists so serve reports don't hand-roll p99 math."""
+    from repro.serve.experiments import serve_policy_cell
+
+    rows = serve_policy_cell("affinity", 250.0, "duo", duration_us=1_000.0)
+    results = ResultSet("serve_policy", rows)
+    p99 = results.percentile("p99_latency_us", 0.99)
+    assert p99 is not None and p99 > 0
+    assert results.percentile("p99_latency_us", 0.0) <= p99
+
+
 def test_resultset_to_table_uses_format_table(fig9_results):
     text = fig9_results.to_table(columns=["mechanism", "measured_roundtrip_ns"],
                                  headers=["Mechanism", "ns"], title="Latency")

@@ -133,6 +133,20 @@ def test_bitstream_corruption_detected():
     assert bitstream.verify()
 
 
+def test_bitstream_corrupted_rejects_noop_mask():
+    """A flip mask with no bits in the low byte would silently return an
+    *uncorrupted* copy — fault-injection tests relying on it would pass
+    vacuously.  It must raise instead."""
+    design = AcceleratorDesign(name="acc", luts=100, ffs=100)
+    fabric = FabricInstance(FabricSpec(), columns=6, rows=6)
+    bitstream = Bitstream.generate(design, fabric)
+    for mask in (0, 0x100, 0xF00):
+        with pytest.raises(BitstreamError, match="no bits in the low byte"):
+            bitstream.corrupted(flip_mask=mask)
+    # Masks with any low-byte bit still corrupt.
+    assert not bitstream.corrupted(flip_mask=0x101).verify()
+
+
 # --------------------------------------------------------------------------- #
 # Clock generator
 # --------------------------------------------------------------------------- #

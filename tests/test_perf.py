@@ -6,6 +6,7 @@ import pytest
 
 from repro.perf import (
     BENCH_FILENAME,
+    DEFAULT_GATES,
     SCHEMA,
     SUITE,
     BenchSpec,
@@ -194,6 +195,10 @@ def test_power_microbenchmarks_return_positive_rates():
     assert micro.energy_sample_rate(samples=200) > 0
 
 
+def test_serve_microbenchmark_returns_positive_rate():
+    assert micro.serve_request_throughput(duration_us=300.0) > 0
+
+
 def test_default_suite_is_well_formed():
     names = [spec.name for spec in SUITE]
     assert "kernel_events_per_sec" in names
@@ -201,6 +206,10 @@ def test_default_suite_is_well_formed():
     # hooks-on NoC bench is CI-gated; see docs/power.md).
     assert "noc_messages_per_sec_hooks_on" in names
     assert "energy_samples_per_sec" in names
+    # The serving subsystem's end-to-end rate ships and is CI-gated
+    # (see docs/serving.md).
+    assert "serve_requests_per_sec" in names
+    assert "serve_requests_per_sec" in DEFAULT_GATES
     assert len(names) == len(set(names))
     for spec in SUITE:
         assert spec.direction in ("higher", "lower")

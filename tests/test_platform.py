@@ -42,6 +42,23 @@ def test_config_rejects_nonpositive_frequencies():
     assert DollyConfig.dolly(1, 1, fpga_mhz=250.0).fpga_mhz == 250.0
 
 
+def test_config_validates_noc_topology_at_config_time():
+    """Unknown topology names must raise when the config is built — naming
+    every valid fabric — not later inside make_topology during system
+    construction."""
+    from repro.noc.topology import TOPOLOGY_KINDS
+
+    with pytest.raises(ValueError) as excinfo:
+        DollyConfig.dolly(1, 1, noc_topology="hypercube")
+    message = str(excinfo.value)
+    assert "hypercube" in message
+    for kind in TOPOLOGY_KINDS:
+        assert kind in message
+    # Case and whitespace are normalized, not rejected.
+    assert DollyConfig.dolly(1, 1, noc_topology="Torus").noc_topology == "torus"
+    assert DollyConfig.dolly(1, 1, noc_topology=" mesh ").noc_topology == "mesh"
+
+
 def test_tile_plan_roles_cover_p_c_and_m_tiles():
     plan = TilePlan.plan(DollyConfig.dolly(2, 2))
     assert len(plan.processor_tiles) == 2
