@@ -15,7 +15,8 @@ Subcommands:
 Parameters are passed as repeated ``-p name=value`` flags; comma-separated
 values sweep an axis (``-p fpga_mhz=100,200,500``).  ``--cache DIR`` enables
 on-disk result caching, ``--executor process --workers N`` fans cells out
-across processes.
+across processes (``--workers N`` alone implies the process executor); one
+pool is created per invocation and reused across every grid cell.
 """
 
 from __future__ import annotations
@@ -57,14 +58,19 @@ def parse_params(items: Optional[Sequence[str]]) -> Dict[str, Any]:
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
-    return Runner(executor=args.executor, workers=args.workers,
+    executor = args.executor
+    if args.workers is not None and executor == "serial":
+        # `--workers N` alone is an unambiguous ask for parallelism; don't
+        # make the user also spell `--executor process`.
+        executor = "process"
+    return Runner(executor=executor, workers=args.workers,
                   cache_dir=args.cache, seed=args.seed)
 
 
 def _run(args: argparse.Namespace) -> ResultSet:
-    runner = _make_runner(args)
     overrides = parse_params(args.param)
-    return runner.run(args.experiment, use_cache=not args.no_cache, **overrides)
+    with _make_runner(args) as runner:
+        return runner.run(args.experiment, use_cache=not args.no_cache, **overrides)
 
 
 def _emit(results: ResultSet, args: argparse.Namespace) -> None:
@@ -217,7 +223,8 @@ def build_parser() -> argparse.ArgumentParser:
                                   "comma-separate values to sweep an axis")
     run_options.add_argument("--executor", choices=EXECUTORS, default="serial")
     run_options.add_argument("--workers", type=int, default=None,
-                             help="process-pool size (with --executor process)")
+                             help="process-pool size; implies --executor process "
+                                  "when given on its own")
     run_options.add_argument("--cache", metavar="DIR", default=None,
                              help="enable on-disk JSON result caching in DIR")
     run_options.add_argument("--no-cache", action="store_true",
@@ -261,8 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="benchmark name that fails the run on regression "
                              "(repeatable; default: kernel_events_per_sec, "
                              "noc_messages_per_sec, "
-                             "noc_messages_per_sec_hooks_on and "
-                             "serve_requests_per_sec)")
+                             "noc_messages_per_sec_hooks_on, "
+                             "serve_requests_per_sec and "
+                             "fleet_requests_per_sec)")
     p_perf.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     p_perf.set_defaults(func=cmd_perf)

@@ -418,6 +418,8 @@ register_experiment(ExperimentSpec(
 # Serving experiments (cells live in repro.serve.experiments, which must not
 # import repro.api — see its module docstring and docs/serving.md)
 # --------------------------------------------------------------------------- #
+from repro.fleet import experiments as fleet_experiments  # noqa: E402
+from repro.fleet import router as fleet_router  # noqa: E402
 from repro.serve import experiments as serve_experiments  # noqa: E402
 from repro.serve.scheduler import POLICY_KINDS  # noqa: E402
 
@@ -436,6 +438,28 @@ register_experiment(ExperimentSpec(
            "patience_ns": 100_000.0, "seed": serve_experiments.DEFAULT_SEED},
     summarize=serve_experiments.serve_policy_summary,
     tags=("serve", "sweep", "slo"),
+))
+
+# --------------------------------------------------------------------------- #
+# Fleet experiment (cells live in repro.fleet.experiments, same import rule)
+# --------------------------------------------------------------------------- #
+register_experiment(ExperimentSpec(
+    name="fleet_scaling",
+    cell=fleet_experiments.fleet_scaling_cell,
+    title="Fleet — Placement x Node Count x Autoscaling (cost vs tail pareto)",
+    description="A million closed-loop clients (thinned) on a fleet of Dolly "
+                "nodes: placement policy x static node count x autoscaling, "
+                "reporting node-cost against p99/goodput and the pareto "
+                "front (see docs/fleet.md).",
+    grid={"placement": fleet_router.PLACEMENT_KINDS,
+          "nodes": (2, 4, 8),
+          "autoscale": (False, True)},
+    fixed={"policy": "fcfs", "clients": 1_000_000, "think_ms": 50.0,
+           "thin_factor": 50.0, "epoch_us": 400.0,
+           "node_executor": "serial",
+           "seed": fleet_experiments.DEFAULT_SEED},
+    summarize=fleet_experiments.fleet_scaling_summary,
+    tags=("fleet", "serve", "sweep", "pareto"),
 ))
 
 register_experiment(ExperimentSpec(

@@ -6,7 +6,12 @@ The :class:`Runner` turns an :class:`~repro.api.spec.ExperimentSpec` into a
 * ``executor="serial"`` runs every cell in-process, in grid order;
 * ``executor="process"`` fans independent cells out over a
   ``concurrent.futures.ProcessPoolExecutor`` — rows come back in the same
-  deterministic grid order as the serial path;
+  deterministic grid order as the serial path.  The pool is created lazily
+  on the first run that needs it and *reused* for every later cell and
+  every later ``run()`` call on the same :class:`Runner` (worker startup
+  costs an interpreter fork + module imports, which used to be paid per
+  ``run()``); call :meth:`Runner.close` — or use the runner as a context
+  manager — to tear the workers down;
 * passing ``cache_dir`` enables on-disk JSON caching keyed by
   (experiment name, cell parameters): a cell whose exact parameters were
   measured before is served from ``<cache_dir>/<experiment>/<sha256[:16]>.json``
@@ -81,6 +86,43 @@ class Runner:
         self.workers = workers
         self.cache_dir = cache_dir
         self.seed = seed
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+
+    # ------------------------------------------------------------------ #
+    # Pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _get_pool(self, pending: int) -> ProcessPoolExecutor:
+        """The shared process pool, created on first use and reused after.
+
+        Sized by ``workers`` when given, else by the smaller of the pending
+        cell count and the CPU budget; a later run with more cells than the
+        pool has workers still completes (extra cells queue).
+        """
+        if self._pool is None:
+            workers = self.workers or min(max(pending, 1), _available_cpus())
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the shared process pool (no-op for serial runners)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------ #
     def run(self, experiment: Union[str, ExperimentSpec],
@@ -105,13 +147,12 @@ class Runner:
 
         workers_used = 1
         if self.executor == "process" and pending:
-            workers = self.workers or min(len(pending), _available_cpus())
-            workers_used = workers
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {index: pool.submit(_call_cell, spec.cell, cells[index])
-                           for index in pending}
-                for index, future in futures.items():
-                    results[index] = future.result()
+            pool = self._get_pool(len(pending))
+            workers_used = self._pool_workers
+            futures = {index: pool.submit(_call_cell, spec.cell, cells[index])
+                       for index in pending}
+            for index, future in futures.items():
+                results[index] = future.result()
         else:
             for index in pending:
                 results[index] = _call_cell(spec.cell, cells[index])

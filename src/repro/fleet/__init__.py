@@ -1,0 +1,63 @@
+"""Cluster-scale Dolly serving: many nodes, one front tier.
+
+Layers (see ``docs/fleet.md``):
+
+* :mod:`repro.fleet.node` — one share-nothing simulated node (a PR 5
+  :class:`~repro.serve.scheduler.FabricScheduler` deployment) plus the
+  migration cost model;
+* :mod:`repro.fleet.router` — tenant→node placement (consistent-hash /
+  least-loaded / bitstream-affinity) and watermark migration;
+* :mod:`repro.fleet.autoscaler` — reactive node/fabric scaling from
+  queue-depth and shed-rate signals;
+* :mod:`repro.fleet.cluster` — the epoch driver: fans node simulations
+  over a process pool and merges results bit-identically to a serial run;
+* :mod:`repro.fleet.experiments` — the ``fleet_scaling`` experiment cells.
+"""
+
+from repro.fleet.autoscaler import SCALING_MODES, Autoscaler, AutoscalerConfig
+from repro.fleet.cluster import (
+    NODE_EXECUTORS,
+    FleetConfig,
+    FleetOutcome,
+    run_fleet,
+)
+from repro.fleet.node import (
+    DEFAULT_STATE_TRANSFER_NS,
+    NodeSpec,
+    TenantShare,
+    migration_stall_ns,
+    node_seed,
+    simulate_node,
+)
+from repro.fleet.router import (
+    PLACEMENT_KINDS,
+    AffinityPlacement,
+    HashPlacement,
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    Router,
+    make_placement,
+)
+
+__all__ = [
+    "SCALING_MODES",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "NODE_EXECUTORS",
+    "FleetConfig",
+    "FleetOutcome",
+    "run_fleet",
+    "DEFAULT_STATE_TRANSFER_NS",
+    "NodeSpec",
+    "TenantShare",
+    "migration_stall_ns",
+    "node_seed",
+    "simulate_node",
+    "PLACEMENT_KINDS",
+    "AffinityPlacement",
+    "HashPlacement",
+    "LeastLoadedPlacement",
+    "PlacementPolicy",
+    "Router",
+    "make_placement",
+]

@@ -1,0 +1,313 @@
+"""Cluster-scale serving: epochs of parallel node simulation, merged
+deterministically.
+
+:func:`run_fleet` drives N share-nothing nodes (:mod:`repro.fleet.node`)
+through ``epochs`` control epochs.  Within an epoch every node simulates
+independently — serially or fanned out over a
+``concurrent.futures.ProcessPoolExecutor`` (one pool per run, reused across
+epochs, mirroring the :class:`~repro.api.runner.Runner`'s shared pool) —
+and the per-node reports are merged **sorted by node id**, so the merged
+rows are bit-identical regardless of executor, worker count or completion
+order.  Between epochs the control plane runs, in order:
+
+1. the :class:`~repro.fleet.autoscaler.Autoscaler` grows/shrinks the node
+   set (or per-node fabric counts) from the epoch's queue/shed signals —
+   a node-set change triggers a full placement recompute, and every tenant
+   whose node changed is marked *migrated*;
+2. otherwise the :class:`~repro.fleet.router.Router` performs watermark
+   migration off sustained-hot nodes.
+
+Migrated tenants pay their re-program + state-transfer stall at the start
+of the next epoch on the target node.  Epoch boundaries are also where
+heterogeneous offered load enters: ``rate_profile`` scales the cluster
+rate per epoch, which is what gives the autoscaler something to chase.
+
+Determinism contract (tested in ``tests/test_fleet.py``): rows depend only
+on ``(FleetConfig, tenants, total_rate_rps, rate_profile, seed)`` — not on
+the node executor, the worker count, ``PYTHONHASHSEED`` or wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
+from repro.fleet.node import NodeSpec, TenantShare, simulate_node
+from repro.fleet.router import Router, make_placement
+from repro.serve.slo import REPORT_PERCENTILES
+from repro.serve.traffic import TenantSpec
+from repro.sim.stats import Histogram
+
+NODE_EXECUTORS: Tuple[str, ...] = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Static configuration of one fleet deployment."""
+
+    nodes: int = 4
+    placement: str = "affinity"
+    #: Per-node scheduling policy (the PR 5 FabricScheduler policy).
+    policy: str = "fcfs"
+    fabrics_per_node: int = 1
+    system_mhz: float = 1000.0
+    fpga_mhz: Optional[float] = None
+    queue_capacity: Optional[int] = 64
+    patience_ns: float = 100_000.0
+    epochs: int = 3
+    epoch_us: float = 400.0
+    migrate_watermark: float = 8.0
+    state_transfer_ns: float = 25_000.0
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    power: bool = False
+    #: ``serial`` or ``process`` — how node simulations execute.
+    node_executor: str = "serial"
+    workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"need >= 1 node, got {self.nodes}")
+        if self.epochs < 1:
+            raise ValueError(f"need >= 1 epoch, got {self.epochs}")
+        if self.epoch_us <= 0:
+            raise ValueError(f"epoch_us must be positive, got {self.epoch_us}")
+        if self.node_executor not in NODE_EXECUTORS:
+            raise ValueError(
+                f"node_executor must be one of {NODE_EXECUTORS}, "
+                f"got {self.node_executor!r}")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        make_placement(self.placement)  # fail fast on typos
+
+    def initial_nodes(self) -> List[NodeSpec]:
+        count = (max(self.autoscaler.min_nodes, 1)
+                 if self.autoscaler.enabled else self.nodes)
+        count = min(count, self.nodes)
+        return [NodeSpec(node_id=index, fabrics=self.fabrics_per_node,
+                         system_mhz=self.system_mhz, fpga_mhz=self.fpga_mhz)
+                for index in range(count)]
+
+
+def _node_cell(kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Module-level trampoline so the pool pickles only plain data."""
+    return simulate_node(**kwargs)
+
+
+@dataclass
+class FleetOutcome:
+    """Everything :func:`run_fleet` learned, pre-merge and merged."""
+
+    rows: List[Dict[str, Any]]
+    reports: List[Dict[str, Any]]
+    router: Router
+    autoscaler: Autoscaler
+    elapsed_ns: float
+
+
+def run_fleet(
+    config: FleetConfig,
+    tenants: Tuple[TenantSpec, ...],
+    total_rate_rps: float,
+    rate_profile: Optional[Sequence[float]] = None,
+    seed: int = 2023,
+    extra_columns: Optional[Dict[str, Any]] = None,
+) -> FleetOutcome:
+    """Run the fleet to completion and merge per-node results into rows."""
+    if not tenants:
+        raise ValueError("need >= 1 tenant")
+    if total_rate_rps <= 0:
+        raise ValueError(f"total_rate_rps must be positive, got {total_rate_rps}")
+    profile = tuple(rate_profile) if rate_profile else (1.0,) * config.epochs
+    if len(profile) != config.epochs:
+        raise ValueError(
+            f"rate_profile needs one multiplier per epoch "
+            f"({config.epochs}), got {len(profile)}")
+
+    nodes = config.initial_nodes()
+    template = NodeSpec(node_id=max(n.node_id for n in nodes),
+                        fabrics=config.fabrics_per_node,
+                        system_mhz=config.system_mhz, fpga_mhz=config.fpga_mhz)
+    router = Router(config.placement, migrate_watermark=config.migrate_watermark)
+    autoscaler = Autoscaler(config.autoscaler, template)
+    epoch_ns = config.epoch_us * 1000.0
+    open_weight = sum(t.weight for t in tenants if t.pattern != "closed")
+
+    pool = None
+    if config.node_executor == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.api.runner import _available_cpus
+        workers = config.workers or min(len(nodes), _available_cpus())
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    reports: List[Dict[str, Any]] = []
+    migrated: set = set()
+    placed = False
+    try:
+        for epoch in range(config.epochs):
+            rate = total_rate_rps * profile[epoch]
+            shares = tuple(
+                TenantShare(
+                    tenant=tenant,
+                    rate_rps=(rate * tenant.weight / open_weight
+                              if tenant.pattern != "closed" and open_weight > 0
+                              else 0.0),
+                    migrated=tenant.name in migrated,
+                )
+                for tenant in tenants
+            )
+            if not placed:
+                router.place(shares, nodes)
+                placed = True
+            by_node: Dict[int, List[TenantShare]] = {n.node_id: [] for n in nodes}
+            for share in shares:
+                node_id = router.placement[share.tenant.name]
+                by_node[node_id].append(share)
+            ordered_nodes = sorted(nodes, key=lambda n: n.node_id)
+            calls = [
+                dict(
+                    node=node,
+                    shares=tuple(by_node[node.node_id]),
+                    policy=config.policy,
+                    epoch_ns=epoch_ns,
+                    epoch=epoch,
+                    seed=seed,
+                    queue_capacity=config.queue_capacity,
+                    patience_ns=config.patience_ns,
+                    state_transfer_ns=config.state_transfer_ns,
+                    power=config.power,
+                )
+                for node in ordered_nodes
+            ]
+            if pool is not None:
+                # Futures are collected in submission (= node id) order, so
+                # the merge is independent of completion interleaving.
+                epoch_reports = [future.result()
+                                 for future in [pool.submit(_node_cell, call)
+                                                for call in calls]]
+            else:
+                epoch_reports = [_node_cell(call) for call in calls]
+            reports.extend(epoch_reports)
+
+            if epoch == config.epochs - 1:
+                break
+            signals = {report["node_id"]: report for report in epoch_reports}
+            migrated = set()
+            decision = autoscaler.decide(signals)
+            resized = autoscaler.apply(decision, nodes, signals, epoch)
+            if resized is not None:
+                node_set_changed = ({n.node_id for n in resized}
+                                    != {n.node_id for n in nodes})
+                nodes = resized
+                if node_set_changed:
+                    migrated = router.place(shares, nodes)
+                    continue
+            migrated = router.rebalance(signals, shares, nodes)
+    finally:
+        if pool is not None:
+            pool.shutdown()
+
+    rows = _merge_reports(reports, tenants, config, extra_columns or {})
+    elapsed_ns = sum(
+        max(r["elapsed_ns"] for r in reports if r["epoch"] == epoch)
+        for epoch in range(config.epochs))
+    for row in rows:
+        row["elapsed_us"] = elapsed_ns / 1000.0
+    return FleetOutcome(rows=rows, reports=reports, router=router,
+                        autoscaler=autoscaler, elapsed_ns=elapsed_ns)
+
+
+# --------------------------------------------------------------------------- #
+# The deterministic merge
+# --------------------------------------------------------------------------- #
+def _merge_reports(reports: List[Dict[str, Any]],
+                   tenants: Tuple[TenantSpec, ...],
+                   config: FleetConfig,
+                   extra: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Fold per-(node, epoch) reports into per-tenant + ``__all__`` rows.
+
+    Reports are consumed sorted by ``(epoch, node_id)`` — the canonical
+    order no matter which executor produced them — so sample concatenation
+    (and therefore every percentile) is reproducible bit for bit.
+    """
+    ordered = sorted(reports, key=lambda r: (r["epoch"], r["node_id"]))
+    per_tenant: Dict[str, Dict[str, Any]] = {}
+    for report in ordered:
+        for name, account in report["tenants"].items():
+            bucket = per_tenant.setdefault(name, {
+                "submitted": 0, "completed": 0, "shed": 0, "good": 0,
+                "slo_violations": 0, "slo_ns": account["slo_ns"],
+                "service_ns_total": 0.0, "queue_wait_ns_total": 0.0,
+                "samples": [],
+            })
+            for key in ("submitted", "completed", "shed", "good",
+                        "slo_violations"):
+                bucket[key] += account[key]
+            bucket["service_ns_total"] += account["service_ns_total"]
+            bucket["queue_wait_ns_total"] += account["queue_wait_ns_total"]
+            bucket["samples"].extend(account["latency_samples"])
+
+    epochs = sorted({r["epoch"] for r in ordered})
+    elapsed_ns = sum(max(r["elapsed_ns"] for r in ordered if r["epoch"] == e)
+                     for e in epochs)
+    nodes_per_epoch = [sum(1 for r in ordered if r["epoch"] == e) for e in epochs]
+    epoch_ns = config.epoch_us * 1000.0
+    totals = {
+        "nodes_mean": sum(nodes_per_epoch) / len(nodes_per_epoch),
+        "nodes_max": max(nodes_per_epoch),
+        # The cost axis: node-microseconds (and fabric-us) actually powered
+        # on, cost_weight-scaled for heterogeneous fleets.
+        "node_us": sum(r["cost_weight"] * epoch_ns / 1000.0 for r in ordered),
+        "fabric_us": sum(r["fabrics"] * epoch_ns / 1000.0 for r in ordered),
+        "migrations": sum(r["migrations"] for r in ordered),
+        "migration_stall_us": sum(r["migration_stall_ns"] for r in ordered) / 1000.0,
+        "reconfigurations": sum(r["reconfigurations"] for r in ordered),
+        "reconfig_us_total": sum(r["reconfig_us_total"] for r in ordered),
+        "service_us_total": sum(r["service_us_total"] for r in ordered),
+    }
+    if config.power:
+        totals["energy_nj"] = sum(r["energy_pj"] for r in ordered) / 1000.0
+
+    rows: List[Dict[str, Any]] = []
+    cluster = {"submitted": 0, "completed": 0, "shed": 0, "good": 0,
+               "slo_violations": 0, "slo_ns": 0.0,
+               "service_ns_total": 0.0, "queue_wait_ns_total": 0.0,
+               "samples": []}
+    for name in sorted(per_tenant):
+        bucket = per_tenant[name]
+        rows.append(_row(name, bucket, elapsed_ns, extra, totals))
+        for key in ("submitted", "completed", "shed", "good", "slo_violations"):
+            cluster[key] += bucket[key]
+        cluster["service_ns_total"] += bucket["service_ns_total"]
+        cluster["queue_wait_ns_total"] += bucket["queue_wait_ns_total"]
+        cluster["samples"].extend(bucket["samples"])
+    rows.append(_row("__all__", cluster, elapsed_ns, extra, totals))
+    return rows
+
+
+def _row(name: str, bucket: Dict[str, Any], elapsed_ns: float,
+         extra: Dict[str, Any], totals: Dict[str, Any]) -> Dict[str, Any]:
+    histogram = Histogram(name, samples=bucket["samples"])
+    completed = bucket["completed"]
+    row: Dict[str, Any] = dict(extra)
+    row.update({
+        "tenant": name,
+        "submitted": bucket["submitted"],
+        "completed": completed,
+        "shed": bucket["shed"],
+        "slo_violations": bucket["slo_violations"],
+        "slo_ns": bucket["slo_ns"],
+        "goodput_krps": bucket["good"] / elapsed_ns * 1e6 if elapsed_ns else 0.0,
+        "throughput_krps": completed / elapsed_ns * 1e6 if elapsed_ns else 0.0,
+        "mean_latency_us": histogram.mean / 1000.0,
+        "mean_queue_wait_us": (bucket["queue_wait_ns_total"] / completed / 1000.0
+                               if completed else 0.0),
+    })
+    for label, fraction in REPORT_PERCENTILES:
+        row[f"{label}_latency_us"] = histogram.percentile(fraction) / 1000.0
+    row.update(totals)
+    busy_us = totals["service_us_total"] + totals["reconfig_us_total"]
+    row["reconfig_overhead"] = (totals["reconfig_us_total"] / busy_us
+                                if busy_us > 0 else 0.0)
+    return row

@@ -1,0 +1,250 @@
+"""One simulated Dolly serving node: a PR 5 deployment behind a fleet.
+
+A *node* is an independent Dolly system serving its assigned tenants — a
+:class:`~repro.serve.scheduler.FabricScheduler` with ``fabrics`` eFPGA
+fabrics, its own simulation kernel, its own traffic sources and its own
+SLO accounting.  Nodes are deliberately *share-nothing*: one node's
+simulation reads only its :class:`NodeSpec`, its tenant assignments and a
+seed derived arithmetically from ``(seed, node_id, epoch)``, which is what
+lets the cluster layer fan node simulations out over a process pool and
+still merge results bit-identically to a serial run (sorted by node id; see
+``docs/fleet.md``).
+
+Nodes may be heterogeneous — the INFN Tier-1 elastic-extension framing of
+the fleet experiments (PAPERS.md, arXiv:2006.14603): a remote pool whose
+machines differ in fabric count, clock and cost.  :attr:`NodeSpec.fabrics`,
+:attr:`NodeSpec.fpga_mhz`, :attr:`NodeSpec.system_mhz` and
+:attr:`NodeSpec.cost_weight` capture that; the placement policies normalize
+load by fabric count so a 2-fabric node absorbs twice the traffic.
+
+A tenant that *migrates* onto a node (the router re-placed it) pays a real
+cost before its stream starts there: the target fabric must be programmed
+from scratch (``config_bits / programming_bits_per_cycle`` system cycles,
+exactly what :meth:`~repro.core.control_hub.ControlHub.program` charges)
+plus a state-transfer stall.  The stall is applied as the traffic source's
+``start_delay_ns``, so a migration shows up where it hurts: requests that
+would have arrived during the blackout never get served there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.serve.catalog import resolve_accelerator
+from repro.serve.scheduler import FabricScheduler, ServeConfig
+from repro.serve.slo import SloMonitor
+from repro.serve.traffic import TenantSpec, TrafficSource
+from repro.sim import Simulator
+
+#: Fixed state-transfer component of a tenant migration (ns): shipping the
+#: tenant's context (queue snapshot, accelerator state) to the target node.
+DEFAULT_STATE_TRANSFER_NS = 25_000.0
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one fleet node (possibly heterogeneous)."""
+
+    node_id: int
+    #: eFPGA fabrics on this node (the PR 5 scheduler drives all of them).
+    fabrics: int = 1
+    system_mhz: float = 1000.0
+    #: Service clock cap; ``None`` runs each accelerator at its own Fmax.
+    fpga_mhz: Optional[float] = None
+    #: Relative cost of one node-second (heterogeneous pricing/power class).
+    cost_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id cannot be negative, got {self.node_id}")
+        if self.fabrics < 1:
+            raise ValueError(f"need >= 1 fabric, got {self.fabrics}")
+        if self.system_mhz <= 0:
+            raise ValueError(f"system_mhz must be positive, got {self.system_mhz}")
+        if self.cost_weight <= 0:
+            raise ValueError(f"cost_weight must be positive, got {self.cost_weight}")
+
+    @property
+    def name(self) -> str:
+        return f"node{self.node_id}"
+
+
+@dataclass(frozen=True)
+class TenantShare:
+    """One tenant's assignment onto a node for one epoch."""
+
+    tenant: TenantSpec
+    #: Offered open-loop rate for this epoch (closed loops pace themselves).
+    rate_rps: float
+    #: True when the router moved the tenant here this epoch (pays a stall).
+    migrated: bool = False
+
+    def load_proxy(self) -> float:
+        """Dimensionless offered-load estimate used by placement policies.
+
+        Rate times the catalog's mean service cycles — clock-free on
+        purpose, since placement happens before any node is simulated.
+        """
+        spec = resolve_accelerator(self.tenant.accelerator)
+        mean_size = (self.tenant.size_min + self.tenant.size_max) / 2.0
+        return self.rate_rps * spec.service_cycles(int(mean_size))
+
+
+def node_seed(seed: int, node_id: int, epoch: int) -> int:
+    """Per-(node, epoch) RNG stream base, mixed arithmetically.
+
+    No ``hash()`` anywhere (PYTHONHASHSEED-independence); the multipliers
+    are distinct odd constants so streams for neighbouring nodes/epochs
+    share no structure.  Tenant identity is mixed in later by
+    :meth:`TenantSpec.rng_seed` via CRC-32.
+    """
+    return (seed * 1_000_003 + node_id * 7_919 + epoch * 104_729) & 0x7FFFFFFF
+
+
+def migration_stall_ns(scheduler: FabricScheduler, accelerator: str,
+                       system_mhz: float,
+                       state_transfer_ns: float = DEFAULT_STATE_TRANSFER_NS) -> float:
+    """The blackout a migrated tenant pays before serving on a new node:
+    one full bitstream program at the node's system clock plus the fixed
+    state-transfer cost."""
+    bitstream = scheduler.accelerators[accelerator].bitstream
+    bits_per_cycle = scheduler.config.control_hub.programming_bits_per_cycle
+    cycles = -(-bitstream.config_bits // bits_per_cycle)  # ceil div
+    return cycles * 1000.0 / system_mhz + state_transfer_ns
+
+
+def _attach_node_energy(sim: Simulator, scheduler: FabricScheduler):
+    """One :class:`EnergyModel` per fabric (each tracks its own eFPGA clock
+    domain); the node's energy is their sum."""
+    from repro.power.model import EnergyModel, PowerConfig
+
+    area_mm2 = max(accelerator.synthesis.area_mm2
+                   for accelerator in scheduler.accelerators.values())
+    models = []
+    for fabric in scheduler.fabrics:
+        energy = EnergyModel(PowerConfig(enabled=True), sim,
+                             name=f"{fabric.name}.energy")
+        energy.sys_domain = scheduler.sys_domain
+        energy.fpga_domain = fabric.clock_generator.fpga_domain
+        energy.num_tiles = 1
+        energy.set_efpga_area(area_mm2)
+        fabric.energy = energy
+        models.append(energy)
+    return models
+
+
+def simulate_node(
+    node: NodeSpec,
+    shares: Tuple[TenantShare, ...],
+    policy: str,
+    epoch_ns: float,
+    epoch: int,
+    seed: int,
+    queue_capacity: Optional[int] = 64,
+    patience_ns: float = 100_000.0,
+    state_transfer_ns: float = DEFAULT_STATE_TRANSFER_NS,
+    power: bool = False,
+    max_events: int = 20_000_000,
+) -> Dict[str, Any]:
+    """Simulate one node for one epoch; returns a picklable report dict.
+
+    The report carries per-tenant accounting (including raw latency samples
+    so the cluster can merge exact percentiles), the node-level signals the
+    router and autoscaler react to (time-weighted queue depth, busy
+    fraction, shed counts) and — with ``power=True`` — the node's energy.
+    Everything is a plain dict/list/float so a
+    ``ProcessPoolExecutor`` ships it back without custom reducers.
+    """
+    sim = Simulator()
+    config = ServeConfig(
+        policy=policy,
+        num_fabrics=node.fabrics,
+        system_mhz=node.system_mhz,
+        fpga_mhz=node.fpga_mhz,
+        queue_capacity=queue_capacity,
+        patience_ns=patience_ns,
+        accelerators=tuple(dict.fromkeys(
+            share.tenant.accelerator for share in shares)) or ("popcount",),
+    )
+    monitor = SloMonitor(sim, name=node.name)
+    scheduler = FabricScheduler(sim, config, monitor=monitor)
+    energy_models = _attach_node_energy(sim, scheduler) if power else []
+
+    migrations = 0
+    stall_ns_total = 0.0
+    sources = []
+    for index, share in enumerate(shares):
+        stall = 0.0
+        if share.migrated:
+            stall = migration_stall_ns(scheduler, share.tenant.accelerator,
+                                       node.system_mhz, state_transfer_ns)
+            migrations += 1
+            stall_ns_total += stall
+        sources.append(TrafficSource(
+            sim, share.tenant, scheduler.submit, share.rate_rps,
+            duration_ns=epoch_ns,
+            seed=node_seed(seed, node.node_id, epoch),
+            start_id=(epoch * len(shares) + index) * 1_000_000,
+            start_delay_ns=stall,
+        ))
+    processes = [process for source in sources for process in source.start()]
+
+    def supervisor():
+        for process in processes:
+            if not process.finished:
+                yield process
+        scheduler.close()
+
+    sim.process(supervisor(), name=f"{node.name}.supervisor")
+    for model in energy_models:
+        model.begin_window()
+    sim.run(max_events=max_events)
+    elapsed_ns = max(sim.now, epoch_ns)
+    for model in energy_models:
+        model.end_window()
+
+    tenants: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(monitor.accounts):
+        account = monitor.accounts[name]
+        tenants[name] = {
+            "submitted": account.submitted,
+            "completed": account.completed,
+            "shed": account.shed,
+            "good": account.good,
+            "slo_violations": account.slo_violations,
+            "slo_ns": account.slo_ns,
+            "service_ns_total": account.service_ns_total,
+            "queue_wait_ns_total": account.queue_wait_ns_total,
+            "latency_samples": list(monitor.latency_histogram(name).samples),
+        }
+
+    totals = scheduler.fabric_totals()
+    busy_ns = (totals["service_us_total"] + totals["reconfig_us_total"]) * 1000.0
+    energy_pj = sum(model.last_window_pj or 0.0 for model in energy_models)
+    breakdown: Dict[str, float] = {}
+    for model in energy_models:
+        for domain, pj in model.last_window_breakdown.items():
+            breakdown[domain] = breakdown.get(domain, 0.0) + pj
+    return {
+        "node_id": node.node_id,
+        "epoch": epoch,
+        "fabrics": node.fabrics,
+        "cost_weight": node.cost_weight,
+        "elapsed_ns": elapsed_ns,
+        "tenants": tenants,
+        # -- signals the router/autoscaler steer on --------------------- #
+        "queue_depth_mean": monitor.queue_depth.time_weighted_mean(),
+        "busy_fraction": busy_ns / (node.fabrics * elapsed_ns) if elapsed_ns else 0.0,
+        "submitted": sum(t["submitted"] for t in tenants.values()),
+        "completed": sum(t["completed"] for t in tenants.values()),
+        "shed": sum(t["shed"] for t in tenants.values()),
+        # -- accounting -------------------------------------------------- #
+        "reconfigurations": totals["reconfigurations"],
+        "reconfig_us_total": totals["reconfig_us_total"],
+        "service_us_total": totals["service_us_total"],
+        "migrations": migrations,
+        "migration_stall_ns": stall_ns_total,
+        "energy_pj": energy_pj,
+        "energy_breakdown": breakdown,
+    }

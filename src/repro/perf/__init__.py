@@ -102,6 +102,18 @@ SUITE = [
         params={"duration_us": 4_000.0, "arrival_rate_krps": 250.0,
                 "policy": "affinity"},
     ),
+    # The gated fleet number: requests served per wall second through the
+    # cluster layer — placement, the epoch driver, per-node serving and
+    # the deterministic merge (BENCH_fleet.json CI artifact).
+    BenchSpec(
+        name="fleet_requests_per_sec",
+        fn=micro.fleet_request_throughput,
+        unit="requests/s",
+        params={"nodes": 4, "epochs": 3, "epoch_us": 400.0,
+                "rate_krps": 400.0, "placement": "affinity"},
+        repeats=3,
+        quick_repeats=1,
+    ),
     BenchSpec(
         name="noc_messages_per_sec_torus",
         fn=micro.noc_message_throughput,

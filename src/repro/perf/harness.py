@@ -53,10 +53,12 @@ DEFAULT_TOLERANCE = 0.2
 #: Benchmarks that fail a gated comparison when they regress: the kernel
 #: headline number, the batched-NoC 8x8 mesh microbenchmark, the same NoC
 #: workload with the energy-accounting hooks live — gating that one is
-#: what keeps the power layer's hot-path cost near zero — and the serving
-#: subsystem's end-to-end request rate.
+#: what keeps the power layer's hot-path cost near zero — the serving
+#: subsystem's end-to-end request rate, and the fleet layer's cluster-wide
+#: request rate.
 DEFAULT_GATES = ("kernel_events_per_sec", "noc_messages_per_sec",
-                 "noc_messages_per_sec_hooks_on", "serve_requests_per_sec")
+                 "noc_messages_per_sec_hooks_on", "serve_requests_per_sec",
+                 "fleet_requests_per_sec")
 
 
 @dataclass

@@ -30,6 +30,10 @@ budget:
   through the :mod:`repro.serve` subsystem on the two-tenant
   reconfiguration-pressure mix: the gated ``serve_requests_per_sec``
   number, published in the ``BENCH_serve.json`` CI artifact.
+* :func:`fleet_request_throughput` — served requests per wall second
+  through the :mod:`repro.fleet` cluster layer (placement, per-node
+  simulation, deterministic merge): the gated ``fleet_requests_per_sec``
+  number, published in the ``BENCH_fleet.json`` CI artifact.
 
 All of them return a rate (per wall second), so *higher is better* and
 regressions show up as ratios < 1 against the recorded baseline.
@@ -198,6 +202,38 @@ def serve_request_throughput(duration_us: float = 4_000.0,
     if completed <= 0 or aggregate["shed"] + completed != aggregate["submitted"]:
         raise RuntimeError(
             f"serve bench lost requests: completed={completed} "
+            f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
+        )
+    return completed / elapsed
+
+
+def fleet_request_throughput(nodes: int = 4, epochs: int = 3,
+                             epoch_us: float = 400.0,
+                             rate_krps: float = 400.0,
+                             placement: str = "affinity") -> float:
+    """Served requests per wall second through the fleet layer.
+
+    Runs a static (no-autoscaler) fleet of ``nodes`` serially — placement,
+    per-node scheduling, the epoch driver and the deterministic merge are
+    all on the measured path — under a flat offered rate, so the number
+    tracks the cluster layer's end-to-end overhead per request.  The
+    workload is fully deterministic; only the wall clock varies between
+    repeats (``BENCH_fleet.json`` CI artifact, gated).
+    """
+    from repro.fleet.cluster import FleetConfig, run_fleet
+    from repro.fleet.experiments import FLEET_TENANTS
+
+    config = FleetConfig(nodes=nodes, placement=placement, epochs=epochs,
+                         epoch_us=epoch_us)
+    start = time.perf_counter()
+    outcome = run_fleet(config, FLEET_TENANTS, total_rate_rps=rate_krps * 1000.0,
+                        rate_profile=(1.0,) * epochs)
+    elapsed = time.perf_counter() - start
+    aggregate = [row for row in outcome.rows if row["tenant"] == "__all__"][0]
+    completed = aggregate["completed"]
+    if completed <= 0 or aggregate["shed"] + completed != aggregate["submitted"]:
+        raise RuntimeError(
+            f"fleet bench lost requests: completed={completed} "
             f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
         )
     return completed / elapsed

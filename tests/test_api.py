@@ -118,6 +118,26 @@ def test_parallel_runner_matches_serial_fig12():
     assert parallel.stats.executor == "process"
 
 
+def test_runner_reuses_one_pool_across_runs():
+    """The process pool is created lazily, survives across run() calls, and
+    dies with close() — worker forks are paid once per Runner, not per run."""
+    with Runner(executor="process", workers=2) as runner:
+        assert runner._pool is None  # lazy: no workers until a run needs them
+        first = runner.run("fig9", mechanism=("shadow_reg",), fpga_mhz=(100.0,))
+        pool = runner._pool
+        assert pool is not None and runner._pool_workers == 2
+        second = runner.run("fig9", mechanism=("normal_reg",), fpga_mhz=(100.0,))
+        assert runner._pool is pool  # same pool, no re-fork
+        assert first.stats.workers == second.stats.workers == 2
+    assert runner._pool is None  # context exit tears the workers down
+
+
+def test_serial_runner_close_is_a_noop():
+    runner = Runner()
+    runner.run("fig9", mechanism=("shadow_reg",), fpga_mhz=(100.0,))
+    runner.close()  # nothing to shut down; must not raise
+
+
 def test_cache_hits_on_second_run(tmp_path):
     cache_dir = str(tmp_path / "cache")
     runner = Runner(cache_dir=cache_dir)
@@ -316,3 +336,22 @@ def test_cli_run_unknown_experiment_fails_cleanly():
     proc = _cli("run", "fig13")
     assert proc.returncode == 2
     assert "unknown experiment" in proc.stderr
+
+
+def test_cli_workers_alone_implies_process_executor():
+    from repro.api.cli import _make_runner, build_parser
+
+    parser = build_parser()
+    implied = _make_runner(parser.parse_args(
+        ["run", "fig9", "--workers", "2"]))
+    assert implied.executor == "process" and implied.workers == 2
+    explicit = _make_runner(parser.parse_args(
+        ["run", "fig9", "--executor", "serial"]))
+    assert explicit.executor == "serial"
+    # End to end: the implied process run produces the serial rows.
+    serial = _cli("run", "fig9", "--json",
+                  "-p", "mechanism=shadow_reg", "-p", "fpga_mhz=100")
+    proc = _cli("run", "fig9", "--json", "--workers", "2",
+                "-p", "mechanism=shadow_reg", "-p", "fpga_mhz=100")
+    assert proc.returncode == 0, proc.stderr
+    assert json.loads(proc.stdout)["rows"] == json.loads(serial.stdout)["rows"]

@@ -2,6 +2,9 @@
 SLO accounting, and the serving experiments (including the acceptance pin
 that reconfiguration affinity beats FCFS under reconfiguration pressure)."""
 
+import json
+import os
+
 import pytest
 
 from repro.api.registry import get_experiment
@@ -32,6 +35,8 @@ from repro.serve.experiments import (
     serve_policy_summary,
 )
 from repro.sim import Simulator
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
 
 
 def aggregate_row(rows):
@@ -110,6 +115,44 @@ def test_open_loop_arrivals_are_seed_deterministic(pattern):
     assert first != _collect_arrivals(pattern, seed=8)
     # The long-run rate is in the right ballpark (0.5 req/us over 400 us).
     assert 60 <= len(first) <= 400
+
+
+def _record_golden_stream(pattern, seed, rate_krps=200.0, duration_us=400.0,
+                          **knobs):
+    """Replays the recording recipe behind ``tests/data/traffic_golden.json``."""
+    sim = Simulator()
+    tenant = TenantSpec(name="golden", accelerator="popcount",
+                        pattern=pattern, **knobs)
+    seen = []
+
+    def submit(request):
+        request.arrival_ns = sim.now
+        seen.append([round(sim.now, 6), request.size, request.request_id])
+        if request.completion is not None:
+            # Complete instantly so closed loops keep cycling.
+            request.finish_ns = sim.now
+            request.completion.succeed(request)
+
+    source = TrafficSource(sim, tenant, submit, rate_krps * 1000.0,
+                           duration_ns=duration_us * 1000.0, seed=seed)
+    source.start()
+    sim.run()
+    return seen
+
+
+def test_arrival_streams_match_pre_batching_golden():
+    """The batched arrival generators reproduce the retired per-request
+    draws bit for bit (``tests/data/traffic_golden.json`` was recorded
+    before the ARRIVAL_CHUNK pre-generation rewrite)."""
+    with open(os.path.join(DATA_DIR, "traffic_golden.json")) as handle:
+        golden = json.load(handle)
+    assert sorted({key.split("/")[0] for key in golden}) == [
+        "bursty", "closed", "diurnal", "poisson"]
+    for key in sorted(golden):
+        pattern, seed = key.split("/")
+        knobs = {"clients": 3, "think_ns": 5_000.0} if pattern == "closed" else {}
+        fresh = _record_golden_stream(pattern, int(seed), **knobs)
+        assert fresh == golden[key], f"stream {key} diverged from the recording"
 
 
 def test_open_loop_stops_at_duration():
