@@ -269,8 +269,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(repeatable; default: kernel_events_per_sec, "
                              "noc_messages_per_sec, "
                              "noc_messages_per_sec_hooks_on, "
-                             "serve_requests_per_sec and "
-                             "fleet_requests_per_sec)")
+                             "serve_requests_per_sec, "
+                             "fleet_requests_per_sec and "
+                             "chaos_requests_per_sec)")
     p_perf.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     p_perf.set_defaults(func=cmd_perf)

@@ -476,3 +476,27 @@ register_experiment(ExperimentSpec(
     summarize=serve_experiments.serve_energy_summary,
     tags=("serve", "power", "efficiency"),
 ))
+
+# --------------------------------------------------------------------------- #
+# Chaos experiment (cells live in repro.chaos.experiments, same import rule)
+# --------------------------------------------------------------------------- #
+from repro.chaos import experiments as chaos_experiments  # noqa: E402
+
+register_experiment(ExperimentSpec(
+    name="chaos",
+    cell=chaos_experiments.chaos_cell,
+    title="Chaos — Fault Rate x Policy x Recovery (failover under traffic)",
+    description="A fleet that loses node 0 to a pinned whole-node fault "
+                "under rate-scaled SEU/link noise: with recovery the hot "
+                "spare is promoted, tenants re-place and lost requests "
+                "replay; without it the dead node sheds. Reports per-tenant "
+                "fault impact and goodput recovery (see docs/chaos.md).",
+    grid={"fault_rate": (0.0, 1.0, 3.0),
+          "policy": ("fcfs", "affinity"),
+          "recovery": (False, True)},
+    fixed={"nodes": 3, "spares": 1, "epochs": 5, "epoch_us": 600.0,
+           "rate_krps": 300.0, "node_executor": "serial",
+           "seed": chaos_experiments.DEFAULT_SEED},
+    summarize=chaos_experiments.chaos_summary,
+    tags=("chaos", "fleet", "reliability", "sweep"),
+))

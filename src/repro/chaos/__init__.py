@@ -1,0 +1,27 @@
+"""repro.chaos — deterministic fault injection and reliability testing.
+
+Seeded :class:`FaultSchedule`\\ s resolve to plain-data
+:class:`FaultEvent`\\ s before any simulation runs; a
+:class:`FaultInjector` applies them to a live serving deployment, and the
+serve/fleet layers recover (failover + replay + image scrubbing) or shed,
+depending on :class:`ChaosConfig`.  See ``docs/chaos.md``.
+"""
+
+from repro.chaos.inject import ChaosConfig, FaultInjector
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    FAULT_SCOPES,
+    FaultEvent,
+    FaultSchedule,
+    FaultSpec,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SCOPES",
+    "ChaosConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+]

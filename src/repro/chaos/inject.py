@@ -1,0 +1,116 @@
+"""Fault injection against a live :class:`~repro.serve.scheduler.FabricScheduler`.
+
+The :class:`FaultInjector` arms one simulation process per
+:class:`~repro.chaos.schedule.FaultEvent`: the process sleeps until the
+event's injection instant, applies the fault through the scheduler's chaos
+APIs, and — for transient faults — sleeps ``repair_ns`` longer and undoes
+it.  All randomness was already resolved when the events were drawn, so the
+injector itself is completely deterministic: the same event tuple against
+the same scheduler produces the same trace, whether the enclosing run is
+serial or inside a ``ProcessPoolExecutor`` worker.
+
+What each kind does:
+
+* ``fabric`` — :meth:`FabricScheduler.fail_fabric` (``scope="node"`` kills
+  every fabric).  With ``repair_ns > 0`` the fabric heals after that long,
+  configuration memory blank (the next request pays a full reprogram).
+* ``seu`` — :meth:`FabricScheduler.corrupt_image` flips bits in one stored
+  accelerator image.  Latent: nothing happens until a fabric next programs
+  that image and the engine's integrity check trips; then recovery either
+  scrubs + replays (``recovery=True``) or poisons the accelerator.
+* ``link`` — cut one control-NoC link; fabrics partitioned away from the
+  control tile fail, and heal when the link repairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.sim import Delay
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything a run needs to inject faults: a schedule + a policy.
+
+    ``recovery`` selects the failover path: replay lost requests through
+    surviving fabrics and scrub corrupt images (True), or shed everything a
+    fault touches (False — the ablation baseline the chaos experiment
+    compares against).
+    """
+
+    schedule: FaultSchedule
+    recovery: bool = True
+
+    @property
+    def enabled(self) -> bool:
+        return self.schedule.enabled
+
+
+class FaultInjector:
+    """Arms fault events against one scheduler; purely event-driven."""
+
+    def __init__(
+        self,
+        sim,
+        scheduler,
+        events: Sequence[FaultEvent],
+        recovery: bool = True,
+        seu_targets: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        #: Accelerator names SEUs can hit; the event's fabric draw indexes
+        #: this list (mod its length), so targeting is plain-data too.
+        self.targets: Tuple[str, ...] = (
+            tuple(seu_targets) if seu_targets is not None
+            else tuple(sorted(scheduler.accelerators)))
+        scheduler.recovery = recovery
+        for index, event in enumerate(self.events):
+            sim.process(self._run(event),
+                        name=f"chaos.{event.kind}.{index}")
+
+    # ------------------------------------------------------------------ #
+    def _run(self, event: FaultEvent):
+        if event.time_ns > 0:
+            yield Delay(event.time_ns)
+        repair = self._apply(event)
+        self.scheduler.fault_stats["faults_injected"] += 1
+        if repair is not None and event.repair_ns > 0:
+            yield Delay(event.repair_ns)
+            repair()
+        return None
+
+    def _apply(self, event: FaultEvent) -> Optional[Callable[[], None]]:
+        """Inject one event; returns the repair action for transient kinds."""
+        scheduler = self.scheduler
+        if event.kind == "fabric":
+            if event.scope == "node":
+                killed = tuple(
+                    index for index in range(len(scheduler.fabrics))
+                    if scheduler.fail_fabric(index, reason="fabric"))
+            else:
+                killed = ((event.fabric,)
+                          if scheduler.fail_fabric(event.fabric, reason="fabric")
+                          else ())
+            if not killed:
+                return None
+            return lambda: [scheduler.heal_fabric(index) for index in killed]
+        if event.kind == "seu":
+            if not self.targets:
+                return None
+            name = self.targets[event.fabric % len(self.targets)]
+            scheduler.fault_detect_ns = event.detect_ns
+            scheduler.corrupt_image(name, event.seu_offset, event.seu_mask)
+            return None  # scrubbed on detection, not on a timer
+        if event.kind == "link":
+            fabrics = len(scheduler.fabrics)
+            if fabrics < 2:
+                return None  # a one-fabric control NoC has no links to cut
+            a = min(event.fabric, fabrics - 2)
+            scheduler.cut_link(a, a + 1)
+            return lambda: scheduler.restore_link(a, a + 1)
+        raise ValueError(f"unknown fault kind {event.kind!r}")  # pragma: no cover

@@ -157,6 +157,15 @@ class ControlHub:
                 1, bitstream.config_bits // self.config.programming_bits_per_cycle
             )
             yield self.sys_domain.wait_cycles(transfer_cycles)
+            # Re-verify after the transfer window: an SEU that lands while
+            # the configuration memory is being written (see repro.chaos)
+            # must not activate a corrupt design.
+            if not bitstream.verify():
+                self.exceptions.raise_error(ErrorCode.BITSTREAM_CORRUPT)
+                raise DuetError(
+                    f"bitstream {bitstream.design_name!r} corrupted during "
+                    "the configuration transfer"
+                )
             self.programmed_bitstream = bitstream
             self.stats.counter("programmings").increment()
         finally:

@@ -29,9 +29,10 @@ the node executor, the worker count, ``PYTHONHASHSEED`` or wall-clock.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos import ChaosConfig
 from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
 from repro.fleet.node import NodeSpec, TenantShare, simulate_node
 from repro.fleet.router import Router, make_placement
@@ -40,6 +41,10 @@ from repro.serve.traffic import TenantSpec
 from repro.sim.stats import Histogram
 
 NODE_EXECUTORS: Tuple[str, ...] = ("serial", "process")
+
+#: Hot spares get node ids in this range so they never collide with the
+#: autoscaler's fresh ids (template id + 1, +2, ...).
+SPARE_ID_BASE = 1000
 
 
 @dataclass(frozen=True)
@@ -64,10 +69,19 @@ class FleetConfig:
     #: ``serial`` or ``process`` — how node simulations execute.
     node_executor: str = "serial"
     workers: Optional[int] = None
+    #: Fault schedule + recovery policy; ``None`` injects nothing and keeps
+    #: every row bit-identical to a chaos-free build.
+    chaos: Optional[ChaosConfig] = None
+    #: Hot spares: powered-on idle nodes (they burn cost and, with
+    #: ``power=True``, idle energy every epoch) that chaos recovery promotes
+    #: when a node loses all of its fabrics.
+    spares: int = 0
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
             raise ValueError(f"need >= 1 node, got {self.nodes}")
+        if self.spares < 0:
+            raise ValueError(f"spares cannot be negative, got {self.spares}")
         if self.epochs < 1:
             raise ValueError(f"need >= 1 epoch, got {self.epochs}")
         if self.epoch_us <= 0:
@@ -88,6 +102,13 @@ class FleetConfig:
                          system_mhz=self.system_mhz, fpga_mhz=self.fpga_mhz)
                 for index in range(count)]
 
+    def spare_nodes(self) -> List[NodeSpec]:
+        return [NodeSpec(node_id=SPARE_ID_BASE + index,
+                         fabrics=self.fabrics_per_node,
+                         system_mhz=self.system_mhz, fpga_mhz=self.fpga_mhz,
+                         spare=True)
+                for index in range(self.spares)]
+
 
 def _node_cell(kwargs: Dict[str, Any]) -> Dict[str, Any]:
     """Module-level trampoline so the pool pickles only plain data."""
@@ -103,6 +124,9 @@ class FleetOutcome:
     router: Router
     autoscaler: Autoscaler
     elapsed_ns: float
+    #: Chaos control-plane summary (``None`` on a chaos-free run):
+    #: promotions, dead node ids, and per-epoch cluster goodput.
+    chaos: Optional[Dict[str, Any]] = None
 
 
 def run_fleet(
@@ -144,6 +168,14 @@ def run_fleet(
     reports: List[Dict[str, Any]] = []
     migrated: set = set()
     placed = False
+    # -- chaos control-plane state -------------------------------------- #
+    spare_pool = config.spare_nodes()
+    #: node_id -> fabric indices that died permanently in earlier epochs.
+    persistent_dead: Dict[int, Tuple[int, ...]] = {}
+    #: node_id -> ((tenant, lost_count), ...) to re-offer next epoch.
+    replay_map: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+    promotions = 0
+    dead_nodes: List[int] = []
     try:
         for epoch in range(config.epochs):
             rate = total_rate_rps * profile[epoch]
@@ -164,11 +196,14 @@ def run_fleet(
             for share in shares:
                 node_id = router.placement[share.tenant.name]
                 by_node[node_id].append(share)
-            ordered_nodes = sorted(nodes, key=lambda n: n.node_id)
-            calls = [
-                dict(
+            # Spares simulate alongside active nodes (idle: no shares, no
+            # faults) so their cost and idle energy land in the totals.
+            ordered_nodes = sorted(nodes + spare_pool, key=lambda n: n.node_id)
+            calls = []
+            for node in ordered_nodes:
+                call = dict(
                     node=node,
-                    shares=tuple(by_node[node.node_id]),
+                    shares=tuple(by_node.get(node.node_id, ())),
                     policy=config.policy,
                     epoch_ns=epoch_ns,
                     epoch=epoch,
@@ -178,8 +213,18 @@ def run_fleet(
                     state_transfer_ns=config.state_transfer_ns,
                     power=config.power,
                 )
-                for node in ordered_nodes
-            ]
+                if config.chaos is not None and not node.spare:
+                    # Fault draws resolve HERE, in the parent, to plain
+                    # data — the events a node sees never depend on which
+                    # process simulates it (serial ≡ process under faults).
+                    call.update(
+                        chaos_events=config.chaos.schedule.events(
+                            epoch, node.node_id, node.fabrics, epoch_ns),
+                        chaos_recovery=config.chaos.recovery,
+                        failed_fabrics=persistent_dead.get(node.node_id, ()),
+                        replays=replay_map.get(node.node_id, ()),
+                    )
+                calls.append(call)
             if pool is not None:
                 # Futures are collected in submission (= node id) order, so
                 # the merge is independent of completion interleaving.
@@ -192,8 +237,19 @@ def run_fleet(
 
             if epoch == config.epochs - 1:
                 break
-            signals = {report["node_id"]: report for report in epoch_reports}
+            signals = {report["node_id"]: report for report in epoch_reports
+                       if not report.get("spare")}
             migrated = set()
+            if config.chaos is not None:
+                (nodes, spare_pool, persistent_dead, replay_map, migrated,
+                 epoch_promotions, epoch_dead, handled) = _chaos_control(
+                    config, epoch_reports, shares, nodes, spare_pool, router)
+                promotions += epoch_promotions
+                dead_nodes.extend(epoch_dead)
+                if handled:
+                    # A failover re-placed the survivors this boundary;
+                    # don't let the autoscaler fight it in the same breath.
+                    continue
             decision = autoscaler.decide(signals)
             resized = autoscaler.apply(decision, nodes, signals, epoch)
             if resized is not None:
@@ -212,10 +268,104 @@ def run_fleet(
     elapsed_ns = sum(
         max(r["elapsed_ns"] for r in reports if r["epoch"] == epoch)
         for epoch in range(config.epochs))
+    chaos_summary = None
+    if config.chaos is not None:
+        chaos_summary = {
+            "promotions": promotions,
+            "dead_nodes": sorted(dead_nodes),
+            "epoch_goodput": epoch_goodput(reports),
+        }
+        for row in rows:
+            row["spare_promotions"] = promotions
+            row["dead_nodes"] = len(dead_nodes)
     for row in rows:
         row["elapsed_us"] = elapsed_ns / 1000.0
     return FleetOutcome(rows=rows, reports=reports, router=router,
-                        autoscaler=autoscaler, elapsed_ns=elapsed_ns)
+                        autoscaler=autoscaler, elapsed_ns=elapsed_ns,
+                        chaos=chaos_summary)
+
+
+def epoch_goodput(reports: List[Dict[str, Any]]) -> List[int]:
+    """Cluster-wide within-SLO completions per epoch — the recovery signal
+    the chaos acceptance pins steer on."""
+    epochs = sorted({report["epoch"] for report in reports})
+    return [
+        sum(account["good"]
+            for report in reports if report["epoch"] == epoch
+            for account in report["tenants"].values())
+        for epoch in epochs
+    ]
+
+
+def _chaos_control(
+    config: FleetConfig,
+    epoch_reports: List[Dict[str, Any]],
+    shares: Tuple[TenantShare, ...],
+    nodes: List[NodeSpec],
+    spare_pool: List[NodeSpec],
+    router: Router,
+):
+    """The epoch-boundary failover step (see ``docs/chaos.md``).
+
+    Reads each node's end-of-epoch fault damage and decides what the next
+    epoch looks like: nodes that lost *every* fabric are (with recovery on)
+    removed and replaced by promoting hot spares, the survivors re-placed
+    through the router's real migration path, and the dead nodes' lost
+    requests queued for replay on whichever node their tenant lands on.
+    Partially-damaged nodes soldier on with their dead fabrics carried
+    forward.  With recovery off nothing is replaced: a dead node keeps its
+    tenants and sheds everything — the ablation the chaos experiment
+    quantifies against.
+    """
+    recovery = config.chaos.recovery if config.chaos is not None else True
+    persistent_dead: Dict[int, Tuple[int, ...]] = {}
+    fully_dead: List[Dict[str, Any]] = []
+    for report in epoch_reports:
+        if report.get("spare") or not report.get("chaos"):
+            continue
+        dead = tuple(report["chaos"]["dead_fabrics"])
+        if not dead:
+            continue
+        if len(dead) >= report["fabrics"] and recovery:
+            fully_dead.append(report)
+        else:
+            # Partial damage (or no recovery at all): carry it forward.
+            persistent_dead[report["node_id"]] = dead
+    if not fully_dead:
+        return (nodes, spare_pool, persistent_dead, {}, set(), 0, [], False)
+
+    promotions = 0
+    epoch_dead: List[int] = []
+    survivors = list(nodes)
+    for report in sorted(fully_dead, key=lambda r: r["node_id"]):
+        if len(survivors) <= 1 and not spare_pool:
+            # Never fail over to an empty cluster; the last node stays (and
+            # keeps shedding) rather than leaving tenants unplaceable.
+            persistent_dead[report["node_id"]] = tuple(
+                report["chaos"]["dead_fabrics"])
+            continue
+        epoch_dead.append(report["node_id"])
+        survivors = [n for n in survivors if n.node_id != report["node_id"]]
+        if spare_pool:
+            survivors.append(replace(spare_pool.pop(0), spare=False))
+            promotions += 1
+    survivors.sort(key=lambda n: n.node_id)
+    migrated = router.place(shares, survivors)
+    # Replay what the dead nodes lost, on whichever node each tenant
+    # landed.  sorted() keeps the burst order canonical.
+    replay_lists: Dict[int, List[Tuple[str, int]]] = {}
+    for report in fully_dead:
+        if report["node_id"] not in epoch_dead:
+            continue
+        for name, account in report["tenants"].items():
+            lost = int(account.get("fault_shed", 0))
+            target = router.placement.get(name)
+            if lost > 0 and target is not None:
+                replay_lists.setdefault(target, []).append((name, lost))
+    replay_map = {node_id: tuple(sorted(pairs))
+                  for node_id, pairs in replay_lists.items()}
+    return (survivors, spare_pool, persistent_dead, replay_map, migrated,
+            promotions, epoch_dead, True)
 
 
 # --------------------------------------------------------------------------- #
@@ -232,6 +382,7 @@ def _merge_reports(reports: List[Dict[str, Any]],
     (and therefore every percentile) is reproducible bit for bit.
     """
     ordered = sorted(reports, key=lambda r: (r["epoch"], r["node_id"]))
+    chaos = config.chaos is not None
     per_tenant: Dict[str, Dict[str, Any]] = {}
     for report in ordered:
         for name, account in report["tenants"].items():
@@ -240,6 +391,7 @@ def _merge_reports(reports: List[Dict[str, Any]],
                 "slo_violations": 0, "slo_ns": account["slo_ns"],
                 "service_ns_total": 0.0, "queue_wait_ns_total": 0.0,
                 "samples": [],
+                "fault_shed": 0, "replayed": 0, "recovery_time_ns": 0.0,
             })
             for key in ("submitted", "completed", "shed", "good",
                         "slo_violations"):
@@ -247,6 +399,10 @@ def _merge_reports(reports: List[Dict[str, Any]],
             bucket["service_ns_total"] += account["service_ns_total"]
             bucket["queue_wait_ns_total"] += account["queue_wait_ns_total"]
             bucket["samples"].extend(account["latency_samples"])
+            if chaos:
+                bucket["fault_shed"] += account.get("fault_shed", 0)
+                bucket["replayed"] += account.get("replayed", 0)
+                bucket["recovery_time_ns"] += account.get("recovery_time_ns", 0.0)
 
     epochs = sorted({r["epoch"] for r in ordered})
     elapsed_ns = sum(max(r["elapsed_ns"] for r in ordered if r["epoch"] == e)
@@ -268,26 +424,38 @@ def _merge_reports(reports: List[Dict[str, Any]],
     }
     if config.power:
         totals["energy_nj"] = sum(r["energy_pj"] for r in ordered) / 1000.0
+    if chaos:
+        chaos_reports = [r["chaos"] for r in ordered if r.get("chaos")]
+        for key in ("faults_injected", "fabric_faults", "requests_lost",
+                    "seu_scrubs", "link_faults"):
+            totals[key] = sum(c[key] for c in chaos_reports)
+        totals["spare_us"] = sum(
+            r["cost_weight"] * epoch_ns / 1000.0
+            for r in ordered if r.get("spare"))
 
     rows: List[Dict[str, Any]] = []
     cluster = {"submitted": 0, "completed": 0, "shed": 0, "good": 0,
                "slo_violations": 0, "slo_ns": 0.0,
                "service_ns_total": 0.0, "queue_wait_ns_total": 0.0,
-               "samples": []}
+               "samples": [],
+               "fault_shed": 0, "replayed": 0, "recovery_time_ns": 0.0}
     for name in sorted(per_tenant):
         bucket = per_tenant[name]
-        rows.append(_row(name, bucket, elapsed_ns, extra, totals))
-        for key in ("submitted", "completed", "shed", "good", "slo_violations"):
+        rows.append(_row(name, bucket, elapsed_ns, extra, totals, chaos=chaos))
+        for key in ("submitted", "completed", "shed", "good", "slo_violations",
+                    "fault_shed", "replayed"):
             cluster[key] += bucket[key]
         cluster["service_ns_total"] += bucket["service_ns_total"]
         cluster["queue_wait_ns_total"] += bucket["queue_wait_ns_total"]
+        cluster["recovery_time_ns"] += bucket["recovery_time_ns"]
         cluster["samples"].extend(bucket["samples"])
-    rows.append(_row("__all__", cluster, elapsed_ns, extra, totals))
+    rows.append(_row("__all__", cluster, elapsed_ns, extra, totals, chaos=chaos))
     return rows
 
 
 def _row(name: str, bucket: Dict[str, Any], elapsed_ns: float,
-         extra: Dict[str, Any], totals: Dict[str, Any]) -> Dict[str, Any]:
+         extra: Dict[str, Any], totals: Dict[str, Any],
+         chaos: bool = False) -> Dict[str, Any]:
     histogram = Histogram(name, samples=bucket["samples"])
     completed = bucket["completed"]
     row: Dict[str, Any] = dict(extra)
@@ -306,6 +474,10 @@ def _row(name: str, bucket: Dict[str, Any], elapsed_ns: float,
     })
     for label, fraction in REPORT_PERCENTILES:
         row[f"{label}_latency_us"] = histogram.percentile(fraction) / 1000.0
+    if chaos:
+        row["fault_shed"] = bucket["fault_shed"]
+        row["replayed"] = bucket["replayed"]
+        row["recovery_time_ns"] = bucket["recovery_time_ns"]
     row.update(totals)
     busy_us = totals["service_us_total"] + totals["reconfig_us_total"]
     row["reconfig_overhead"] = (totals["reconfig_us_total"] / busy_us

@@ -31,11 +31,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+import random
+
 from repro.serve.catalog import resolve_accelerator
 from repro.serve.scheduler import FabricScheduler, ServeConfig
 from repro.serve.slo import SloMonitor
-from repro.serve.traffic import TenantSpec, TrafficSource
-from repro.sim import Simulator
+from repro.serve.traffic import Request, TenantSpec, TrafficSource
+from repro.sim import Delay, Simulator
 
 #: Fixed state-transfer component of a tenant migration (ns): shipping the
 #: tenant's context (queue snapshot, accelerator state) to the target node.
@@ -54,6 +56,9 @@ class NodeSpec:
     fpga_mhz: Optional[float] = None
     #: Relative cost of one node-second (heterogeneous pricing/power class).
     cost_weight: float = 1.0
+    #: Hot spare: powered on (it burns cost/energy every epoch) but excluded
+    #: from placement until chaos recovery promotes it to replace a dead node.
+    spare: bool = False
 
     def __post_init__(self) -> None:
         if self.node_id < 0:
@@ -134,6 +139,35 @@ def _attach_node_energy(sim: Simulator, scheduler: FabricScheduler):
     return models
 
 
+def _replay_burst(sim: Simulator, scheduler: FabricScheduler,
+                  tenant: TenantSpec, count: int, seed: int,
+                  start_delay_ns: float, start_id: int):
+    """Re-offer ``count`` requests a dead node lost for ``tenant``.
+
+    The burst arrives right after the tenant's migration blackout on its
+    new node, back-to-back (the router replays its retained queue).  Sizes
+    come from a dedicated stream (``stream=7``) of the tenant's seeded RNG,
+    so the burst never perturbs the tenant's regular arrival draws.
+    """
+    rng = random.Random(tenant.rng_seed(seed, stream=7))
+    if start_delay_ns > 0:
+        yield Delay(start_delay_ns)
+    for offset in range(count):
+        request = Request(
+            request_id=start_id + offset,
+            tenant=tenant.name,
+            accelerator=tenant.accelerator,
+            size=rng.randint(tenant.size_min, tenant.size_max),
+            priority=tenant.priority,
+            slo_ns=tenant.slo_ns,
+        )
+        if scheduler.submit(request):
+            # Surfaces in the tenant's ``replayed`` column: the request is a
+            # re-offer of one a dead node lost, not organic arrival.
+            scheduler.monitor.on_replay(request, len(scheduler.pending))
+    return count
+
+
 def simulate_node(
     node: NodeSpec,
     shares: Tuple[TenantShare, ...],
@@ -146,6 +180,10 @@ def simulate_node(
     state_transfer_ns: float = DEFAULT_STATE_TRANSFER_NS,
     power: bool = False,
     max_events: int = 20_000_000,
+    chaos_events: Tuple[Any, ...] = (),
+    chaos_recovery: bool = True,
+    failed_fabrics: Tuple[int, ...] = (),
+    replays: Tuple[Tuple[str, int], ...] = (),
 ) -> Dict[str, Any]:
     """Simulate one node for one epoch; returns a picklable report dict.
 
@@ -155,6 +193,14 @@ def simulate_node(
     fraction, shed counts) and — with ``power=True`` — the node's energy.
     Everything is a plain dict/list/float so a
     ``ProcessPoolExecutor`` ships it back without custom reducers.
+
+    Chaos inputs are plain data computed by the *parent* (see
+    ``docs/chaos.md``): ``chaos_events`` are this (node, epoch)'s resolved
+    :class:`~repro.chaos.FaultEvent` draws, ``failed_fabrics`` carries
+    fabric indices that died permanently in earlier epochs, and ``replays``
+    re-offers requests a dead node lost, as an epoch-start burst per tenant.
+    The faults a node sees therefore never depend on which process simulates
+    it — the serial ≡ process identity holds under injection.
     """
     sim = Simulator()
     config = ServeConfig(
@@ -171,6 +217,20 @@ def simulate_node(
     scheduler = FabricScheduler(sim, config, monitor=monitor)
     energy_models = _attach_node_energy(sim, scheduler) if power else []
 
+    chaos_engaged = bool(chaos_events) or bool(failed_fabrics) or bool(replays)
+    if chaos_engaged:
+        scheduler.recovery = chaos_recovery
+        # Damage carried over from earlier epochs: dead before t=0, no new
+        # fault window opens (the impact was accounted when it happened).
+        for index in failed_fabrics:
+            if 0 <= index < len(scheduler.fabrics):
+                scheduler.fabrics[index].fail(reason="carryover")
+        if chaos_events:
+            from repro.chaos import FaultInjector
+
+            FaultInjector(sim, scheduler, chaos_events,
+                          recovery=chaos_recovery)
+
     migrations = 0
     stall_ns_total = 0.0
     sources = []
@@ -181,6 +241,9 @@ def simulate_node(
                                        node.system_mhz, state_transfer_ns)
             migrations += 1
             stall_ns_total += stall
+        # Pre-register so a tenant whose blackout swallows the whole epoch
+        # still reports a (zeroed) row instead of silently vanishing.
+        monitor.register(share.tenant.name, share.tenant.slo_ns)
         sources.append(TrafficSource(
             sim, share.tenant, scheduler.submit, share.rate_rps,
             duration_ns=epoch_ns,
@@ -189,6 +252,22 @@ def simulate_node(
             start_delay_ns=stall,
         ))
     processes = [process for source in sources for process in source.start()]
+    if replays:
+        share_by_name = {share.tenant.name: (index, share)
+                         for index, share in enumerate(shares)}
+        for name, count in replays:
+            if name not in share_by_name or count < 1:
+                continue
+            index, share = share_by_name[name]
+            stall = (migration_stall_ns(scheduler, share.tenant.accelerator,
+                                        node.system_mhz, state_transfer_ns)
+                     if share.migrated else 0.0)
+            processes.append(sim.process(
+                _replay_burst(sim, scheduler, share.tenant, count,
+                              node_seed(seed, node.node_id, epoch), stall,
+                              start_id=(epoch * len(shares) + index)
+                              * 1_000_000 + 500_000),
+                name=f"{node.name}.replay.{name}"))
 
     def supervisor():
         for process in processes:
@@ -200,6 +279,8 @@ def simulate_node(
     for model in energy_models:
         model.begin_window()
     sim.run(max_events=max_events)
+    if chaos_engaged:
+        scheduler.flush_pending()
     elapsed_ns = max(sim.now, epoch_ns)
     for model in energy_models:
         model.end_window()
@@ -217,6 +298,9 @@ def simulate_node(
             "service_ns_total": account.service_ns_total,
             "queue_wait_ns_total": account.queue_wait_ns_total,
             "latency_samples": list(monitor.latency_histogram(name).samples),
+            "fault_shed": account.fault_shed,
+            "replayed": account.replayed,
+            "recovery_time_ns": account.recovery_time_ns,
         }
 
     totals = scheduler.fabric_totals()
@@ -247,4 +331,19 @@ def simulate_node(
         "migration_stall_ns": stall_ns_total,
         "energy_pj": energy_pj,
         "energy_breakdown": breakdown,
+        # -- chaos (empty/zeroed unless this epoch engaged faults) -------- #
+        "spare": node.spare,
+        "chaos": {
+            "faults_injected": scheduler.fault_stats["faults_injected"],
+            "fabric_faults": scheduler.fault_stats["fabric_faults"],
+            "requests_lost": scheduler.fault_stats["requests_lost"],
+            "replayed": scheduler.fault_stats["replayed"],
+            "fault_shed": scheduler.fault_stats["fault_shed"],
+            "seu_scrubs": scheduler.fault_stats["seu_scrubs"],
+            "link_faults": scheduler.fault_stats["link_faults"],
+            #: Fabric indices still dead at epoch end (permanent damage the
+            #: cluster carries into the next epoch as ``failed_fabrics``).
+            "dead_fabrics": sorted(
+                fabric.index for fabric in scheduler.fabrics if fabric.failed),
+        } if chaos_engaged else None,
     }

@@ -41,17 +41,33 @@ class Bitstream:
         return zlib.crc32(self.data) == self.crc
 
     def corrupted(self, offset: int = 0, flip_mask: int = 0xFF) -> "Bitstream":
-        """Return a copy with one byte flipped (for fault-injection tests)."""
+        """Return a copy with ``flip_mask`` XORed into the payload.
+
+        ``flip_mask`` is interpreted little-endian starting at ``offset``:
+        ``0xFF`` flips one byte (the classic single-event upset),
+        ``0x0100`` flips bit 0 of ``offset + 1``, ``0xFFFF`` burns two
+        consecutive bytes (a multi-bit burst).  Bytes wrap around the end
+        of the payload.  Raises :class:`BitstreamError` for empty payloads,
+        non-positive masks, and masks whose wrap-around XORs cancel out —
+        every successful call returns a copy that fails :meth:`verify`.
+        """
         if not self.data:
             raise BitstreamError("cannot corrupt an empty bitstream")
-        if flip_mask & 0xFF == 0:
+        if flip_mask <= 0:
             raise BitstreamError(
-                f"flip_mask 0x{flip_mask:X} has no bits in the low byte; "
-                "corrupted() would return an uncorrupted copy"
-            )
-        offset %= len(self.data)
+                f"flip_mask must be a positive bit pattern, got {flip_mask}")
+        size = len(self.data)
+        offset %= size
         mutated = bytearray(self.data)
-        mutated[offset] ^= flip_mask & 0xFF
+        span = (flip_mask.bit_length() + 7) // 8
+        for index, mask_byte in enumerate(flip_mask.to_bytes(span, "little")):
+            mutated[(offset + index) % size] ^= mask_byte
+        if bytes(mutated) == self.data:
+            raise BitstreamError(
+                f"flip_mask 0x{flip_mask:X} at offset {offset} cancels out "
+                f"over a {size}-byte payload; corrupted() would return an "
+                "uncorrupted copy"
+            )
         return Bitstream(
             design_name=self.design_name,
             data=bytes(mutated),

@@ -20,6 +20,7 @@ from repro.noc.topology import (
     TOPOLOGY_KINDS,
     Crossbar,
     Mesh2D,
+    NocRouteError,
     Ring,
     Topology,
     Torus2D,
@@ -37,6 +38,7 @@ __all__ = [
     "Torus2D",
     "Ring",
     "Crossbar",
+    "NocRouteError",
     "make_topology",
     "NocNetwork",
     "MeshNetwork",

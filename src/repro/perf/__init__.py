@@ -114,6 +114,18 @@ SUITE = [
         repeats=3,
         quick_repeats=1,
     ),
+    # The gated chaos number: the fleet path under injected faults with
+    # recovery on — spare promotion, failover re-placement, replay bursts
+    # and image scrubbing included (BENCH_chaos.json CI artifact).
+    BenchSpec(
+        name="chaos_requests_per_sec",
+        fn=micro.chaos_request_throughput,
+        unit="requests/s",
+        params={"nodes": 3, "spares": 1, "epochs": 4, "epoch_us": 400.0,
+                "rate_krps": 300.0, "fault_rate": 2.0},
+        repeats=3,
+        quick_repeats=1,
+    ),
     BenchSpec(
         name="noc_messages_per_sec_torus",
         fn=micro.noc_message_throughput,

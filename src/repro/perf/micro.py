@@ -34,6 +34,10 @@ budget:
   through the :mod:`repro.fleet` cluster layer (placement, per-node
   simulation, deterministic merge): the gated ``fleet_requests_per_sec``
   number, published in the ``BENCH_fleet.json`` CI artifact.
+* :func:`chaos_request_throughput` — the same fleet path under injected
+  faults with recovery on (:mod:`repro.chaos`): the gated
+  ``chaos_requests_per_sec`` number, published in the
+  ``BENCH_chaos.json`` CI artifact.
 
 All of them return a rate (per wall second), so *higher is better* and
 regressions show up as ratios < 1 against the recorded baseline.
@@ -236,6 +240,47 @@ def fleet_request_throughput(nodes: int = 4, epochs: int = 3,
             f"fleet bench lost requests: completed={completed} "
             f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
         )
+    return completed / elapsed
+
+
+def chaos_request_throughput(nodes: int = 3, spares: int = 1,
+                             epochs: int = 4, epoch_us: float = 400.0,
+                             rate_krps: float = 300.0,
+                             fault_rate: float = 2.0) -> float:
+    """Served requests per wall second through a fleet *under injected
+    faults* — the reliability layer's end-to-end cost.
+
+    The run loses node 0 to a pinned whole-node kill in epoch 1 while
+    rate-scaled SEU and transient link noise plays over every node, with
+    recovery on: spare promotion, failover re-placement, replay bursts and
+    image scrubbing are all on the measured path.  Fault draws resolve in
+    the parent before any node simulates, so the workload is fully
+    deterministic; only the wall clock varies between repeats
+    (``BENCH_chaos.json`` CI artifact, gated).
+    """
+    from repro.chaos import ChaosConfig
+    from repro.chaos.experiments import build_schedule
+    from repro.fleet.cluster import FleetConfig, run_fleet
+    from repro.fleet.experiments import FLEET_TENANTS
+
+    config = FleetConfig(nodes=nodes, placement="affinity", epochs=epochs,
+                         epoch_us=epoch_us,
+                         chaos=ChaosConfig(build_schedule(fault_rate),
+                                           recovery=True),
+                         spares=spares)
+    start = time.perf_counter()
+    outcome = run_fleet(config, FLEET_TENANTS, total_rate_rps=rate_krps * 1000.0,
+                        rate_profile=(1.0,) * epochs)
+    elapsed = time.perf_counter() - start
+    aggregate = [row for row in outcome.rows if row["tenant"] == "__all__"][0]
+    completed = aggregate["completed"]
+    if completed <= 0 or aggregate["shed"] + completed != aggregate["submitted"]:
+        raise RuntimeError(
+            f"chaos bench lost requests: completed={completed} "
+            f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
+        )
+    if aggregate["faults_injected"] <= 0:
+        raise RuntimeError("chaos bench injected no faults")
     return completed / elapsed
 
 

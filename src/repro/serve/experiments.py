@@ -82,6 +82,7 @@ def run_serve(
     seed: int = DEFAULT_SEED,
     power: bool = False,
     max_events: int = 20_000_000,
+    chaos: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run one serving deployment to completion; returns rows + aggregates.
 
@@ -90,6 +91,12 @@ def run_serve(
     window covers everything from the first arrival opportunity to the last
     completion — so an overloaded policy pays for its backlog in the
     goodput denominator instead of hiding it.
+
+    ``chaos`` (a :class:`repro.chaos.ChaosConfig`) arms the run's fault
+    schedule against the deployment.  Fault draws for a serve run use the
+    schedule's ``(epoch=0, node=0)`` stream over the traffic window.  A
+    ``chaos`` whose schedule is empty injects nothing and the run stays
+    bit-identical to a plain one (pinned by ``tests/test_chaos.py``).
     """
     tenants = get_mix(tenant_mix)
     sim = Simulator()
@@ -108,6 +115,15 @@ def run_serve(
         energy = _attach_energy(sim, scheduler)
 
     duration_ns = duration_us * 1000.0
+    if chaos is not None:
+        from repro.chaos import FaultInjector
+
+        FaultInjector(
+            sim, scheduler,
+            chaos.schedule.events(
+                epoch=0, node_id=0, fabrics=num_fabrics, epoch_ns=duration_ns),
+            recovery=chaos.recovery,
+        )
     sources = build_sources(
         sim, tenants, scheduler.submit,
         total_rate_rps=arrival_rate_krps * 1000.0,
@@ -125,6 +141,10 @@ def run_serve(
     if energy is not None:
         energy.begin_window()
     sim.run(max_events=max_events)
+    if chaos is not None:
+        # A chaos run can end with every fabric dead and requests stranded
+        # in the queue; shed them so submitted == completed + shed holds.
+        scheduler.flush_pending()
     elapsed_ns = max(sim.now, duration_ns)
     if energy is not None:
         energy.end_window()
@@ -145,8 +165,15 @@ def run_serve(
         row["elapsed_us"] = elapsed_ns / 1000.0
     if energy is not None:
         _add_energy_columns(rows, energy)
+    if monitor.faults > 0:
+        # Deployment-wide fault accounting; columns only exist once a
+        # fault actually fired, so fault-free goldens never change shape.
+        chaos_totals = scheduler.chaos_totals()
+        for row in rows:
+            row.update(chaos_totals)
     return {"rows": rows, "scheduler": scheduler, "monitor": monitor,
-            "energy": energy, "elapsed_ns": elapsed_ns}
+            "energy": energy, "elapsed_ns": elapsed_ns,
+            "chaos": scheduler.chaos_totals() if chaos is not None else None}
 
 
 def _attach_energy(sim: Simulator, scheduler: FabricScheduler):

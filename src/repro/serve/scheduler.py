@@ -29,16 +29,18 @@ serve run is exactly as deterministic as any other experiment cell.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.control_hub import ControlHub, ControlHubConfig
+from repro.core.exceptions import DuetError
 from repro.cpu.mmio import MmioMap
+from repro.fpga.bitstream import Bitstream
 from repro.fpga.clocking import ProgrammableClockGenerator
 from repro.noc import NocNetwork, TileRouter, make_topology
 from repro.serve.catalog import ServedAccelerator, materialize
 from repro.serve.slo import SloMonitor
 from repro.serve.traffic import Request
-from repro.sim import Simulator, StatSet
+from repro.sim import Delay, Simulator, StatSet
 from repro.sim.clock import ClockDomain
 
 
@@ -148,6 +150,7 @@ class FabricContext:
         index: int = 0,
         fpga_mhz: Optional[float] = None,
         hub_config: Optional[ControlHubConfig] = None,
+        images: Optional[Dict[str, Bitstream]] = None,
     ) -> None:
         self.sim = sim
         self.sys_domain = sys_domain
@@ -170,6 +173,41 @@ class FabricContext:
         #: Energy hook: when set, served cycles and clock retunes feed the
         #: attached :class:`~repro.power.model.EnergyModel` (see run_serve).
         self.energy = None
+        #: Corrupt-image overrides shared with the scheduler (see
+        #: :attr:`FabricScheduler.images`); empty on every fault-free run.
+        self.images: Dict[str, Bitstream] = images if images is not None else {}
+        # -- fault state (repro.chaos) ---------------------------------- #
+        self.failed = False
+        self.fail_time_ns = -1.0
+        self.fail_reason: Optional[str] = None
+        self.faults = 0
+        self.active_request: Optional[Request] = None
+        self._repair = None
+
+    # ------------------------------------------------------------------ #
+    # Fault state (driven by the scheduler's chaos APIs)
+    # ------------------------------------------------------------------ #
+    def repair_event(self):
+        """Event a parked worker waits on until this fabric heals."""
+        if self._repair is None or self._repair.triggered:
+            self._repair = self.sim.event(name=f"{self.name}.repair")
+        return self._repair
+
+    def fail(self, reason: str) -> None:
+        self.failed = True
+        self.fail_time_ns = self.sim.now
+        self.fail_reason = reason
+        self.faults += 1
+        self.stats.counter("faults").increment()
+
+    def heal(self) -> None:
+        self.failed = False
+        self.fail_reason = None
+        # The configuration memory did not survive the fault: the next
+        # request pays a full reprogram through ControlHub.program.
+        self.current_design = None
+        if self._repair is not None and not self._repair.triggered:
+            self._repair.succeed()
 
     # ------------------------------------------------------------------ #
     # Introspection used by policies
@@ -195,7 +233,9 @@ class FabricContext:
             # Close the accounting epoch at the old frequency before the
             # retune so each epoch integrates at the voltage that applied.
             self.energy.sample()
-        yield from self.control_hub.program(accelerator.bitstream)
+        image = self.images.get(accelerator.name)
+        yield from self.control_hub.program(
+            image if image is not None else accelerator.bitstream)
         self.clock_generator.set_max_frequency(accelerator.fmax_mhz)
         self.clock_generator.set_frequency(self.clock_mhz_for(accelerator))
         self.current_design = accelerator.name
@@ -271,14 +311,19 @@ class FabricScheduler:
             if name not in self.accelerators:
                 self.accelerators[name] = materialize(name)
         # One tile per fabric on a private control NoC.
-        network = NocNetwork(sim, self.sys_domain,
-                             topology=make_topology("mesh", config.num_fabrics, 1))
+        self.network = NocNetwork(sim, self.sys_domain,
+                                  topology=make_topology("mesh", config.num_fabrics, 1))
         mmio_map = MmioMap()
+        #: Corrupt-image overrides keyed by accelerator name.  SEU injection
+        #: writes here; reconfigure reads through it; scrubbing pops the
+        #: entry to restore the pristine catalog bitstream.  Empty (and
+        #: never touched) on fault-free runs.
+        self.images: Dict[str, Bitstream] = {}
         self.fabrics = [
             FabricContext(
-                sim, self.sys_domain, TileRouter(network, node), mmio_map,
+                sim, self.sys_domain, TileRouter(self.network, node), mmio_map,
                 self.accelerators, index=node, fpga_mhz=config.fpga_mhz,
-                hub_config=config.control_hub,
+                hub_config=config.control_hub, images=self.images,
             )
             for node in range(config.num_fabrics)
         ]
@@ -287,6 +332,18 @@ class FabricScheduler:
         self._work_event = sim.event(name="serve.work")
         self._drained = sim.event(name="serve.drained")
         self._in_flight = 0
+        # -- chaos knobs/accounting (defaults keep fault-free runs exact) - #
+        #: When True (the default) faults fail over: lost requests replay
+        #: through surviving fabrics and corrupt images are scrubbed.
+        self.recovery = True
+        #: Detection/scrub latency paid before an SEU retry (ns).
+        self.fault_detect_ns = 2_000.0
+        self.fault_stats: Dict[str, int] = {
+            "faults_injected": 0, "fabric_faults": 0, "requests_lost": 0,
+            "replayed": 0, "fault_shed": 0, "seu_scrubs": 0, "link_faults": 0,
+        }
+        #: Accelerators whose image is corrupt with recovery disabled.
+        self.poisoned: Set[str] = set()
         self.workers = [
             sim.process(self._worker(fabric), name=f"serve.worker{fabric.index}")
             for fabric in self.fabrics
@@ -326,11 +383,135 @@ class FabricScheduler:
             event.succeed()
 
     # ------------------------------------------------------------------ #
+    # Fault injection + recovery (driven by repro.chaos)
+    # ------------------------------------------------------------------ #
+    def fail_fabric(self, index: int, reason: str = "fabric") -> bool:
+        """Kill fabric ``index`` now.  Its in-flight request (if any) is
+        lost at what would have been its completion instant; its worker
+        parks until :meth:`heal_fabric`.  Returns False when already dead."""
+        fabric = self.fabrics[index]
+        if fabric.failed:
+            return False
+        fabric.fail(reason)
+        self.fault_stats["fabric_faults"] += 1
+        self.monitor.on_fault(self.sim.now)
+        self._notify()
+        return True
+
+    def heal_fabric(self, index: int) -> bool:
+        """Bring fabric ``index`` back (configuration memory blank)."""
+        fabric = self.fabrics[index]
+        if not fabric.failed:
+            return False
+        fabric.heal()
+        self._notify()
+        return True
+
+    def corrupt_image(self, accelerator: str, offset: int, flip_mask: int) -> None:
+        """SEU: flip bits in the stored image of ``accelerator``.
+
+        Latent until the next reprogram of that accelerator trips the
+        programming engine's integrity check (see ControlHub.program)."""
+        pristine = self.accelerators[accelerator].bitstream
+        base = self.images.get(accelerator, pristine)
+        self.images[accelerator] = base.corrupted(offset=offset, flip_mask=flip_mask)
+        self.monitor.on_fault(self.sim.now)
+
+    def scrub_image(self, accelerator: str) -> None:
+        """Restore the pristine catalog bitstream for ``accelerator``."""
+        self.images.pop(accelerator, None)
+        self.poisoned.discard(accelerator)
+
+    def cut_link(self, a: int, b: int) -> Tuple[int, ...]:
+        """Fault the control-NoC link ``a <-> b``; fabrics cut off from the
+        control tile (tile 0) fail until :meth:`restore_link`.  Returns the
+        indices that went unreachable."""
+        self.network.fail_link(a, b)
+        self.fault_stats["link_faults"] += 1
+        reachable = self.network.topology.reachable_set(0)
+        lost = tuple(
+            fabric.index for fabric in self.fabrics
+            if fabric.index not in reachable and not fabric.failed)
+        for index in lost:
+            self.fail_fabric(index, reason="unreachable")
+        return lost
+
+    def restore_link(self, a: int, b: int) -> Tuple[int, ...]:
+        """Heal the link and revive fabrics that are reachable again."""
+        self.network.heal_link(a, b)
+        reachable = self.network.topology.reachable_set(0)
+        revived = tuple(
+            fabric.index for fabric in self.fabrics
+            if fabric.index in reachable and fabric.failed
+            and fabric.fail_reason == "unreachable")
+        for index in revived:
+            self.heal_fabric(index)
+        return revived
+
+    def _handle_lost(self, request: Request) -> None:
+        """The fabric serving ``request`` died mid-service."""
+        self.fault_stats["requests_lost"] += 1
+        request.start_ns = -1.0
+        request.finish_ns = -1.0
+        if self.recovery:
+            # Failover: replay through whichever fabric frees up first.
+            # Not a new admission — the request was already counted.
+            self.fault_stats["replayed"] += 1
+            self.pending.append(request)
+            self.monitor.on_replay(request, len(self.pending))
+            self._notify()
+        else:
+            self._fault_shed(request)
+
+    def _fault_shed(self, request: Request) -> None:
+        request.shed = True
+        self.fault_stats["fault_shed"] += 1
+        self.monitor.on_fault_shed(request)
+        if request.completion is not None:
+            request.completion.succeed(request)
+
+    def _handle_program_fault(self, fabric: FabricContext, request: Request):
+        """``fabric.serve`` tripped the bitstream integrity check."""
+        name = request.accelerator
+        request.start_ns = -1.0
+        request.finish_ns = -1.0
+        if self.recovery:
+            # Scrub the corrupt image, pay the detection latency, and put
+            # the request back at the head of the queue for a retry (the
+            # retry pays a full reprogram of the pristine image).
+            self.fault_stats["seu_scrubs"] += 1
+            self.scrub_image(name)
+            if self.fault_detect_ns > 0:
+                yield Delay(self.fault_detect_ns)
+            self.fault_stats["replayed"] += 1
+            self.pending.insert(0, request)
+            self.monitor.on_replay(request, len(self.pending))
+            self._notify()
+        else:
+            # No recovery: the accelerator is poisoned — this and every
+            # later request needing a reprogram of it sheds.
+            self.poisoned.add(name)
+            self._fault_shed(request)
+        return None
+
+    def flush_pending(self) -> int:
+        """Shed whatever is still queued (a chaos run can end partitioned
+        with every fabric dead); keeps submitted == completed + shed."""
+        flushed = 0
+        while self.pending:
+            self._fault_shed(self.pending.pop())
+            flushed += 1
+        return flushed
+
+    # ------------------------------------------------------------------ #
     # Worker processes (one per fabric)
     # ------------------------------------------------------------------ #
     def _worker(self, fabric: FabricContext):
         served = 0
         while True:
+            if fabric.failed:
+                yield fabric.repair_event()
+                continue
             if not self.pending:
                 if self.closed:
                     break
@@ -341,11 +522,23 @@ class FabricScheduler:
             self.monitor.on_dequeue(len(self.pending))
             self._in_flight += 1
             fabric.busy = True
+            fabric.active_request = request
+            program_fault = False
             try:
                 yield from fabric.serve(request)
+            except DuetError:
+                program_fault = True
             finally:
                 fabric.busy = False
+                fabric.active_request = None
                 self._in_flight -= 1
+            if program_fault:
+                yield from self._handle_program_fault(fabric, request)
+                continue
+            if fabric.failed and fabric.fail_time_ns < self.sim.now:
+                # The fabric died while this request was on it.
+                self._handle_lost(request)
+                continue
             self.monitor.on_complete(request)
             if request.completion is not None:
                 request.completion.succeed(request)
@@ -365,3 +558,9 @@ class FabricScheduler:
             "reconfig_us_total": sum(f.reconfig_ns_total for f in self.fabrics) / 1000.0,
             "service_us_total": sum(f.service_ns_total for f in self.fabrics) / 1000.0,
         }
+
+    def chaos_totals(self) -> Dict[str, int]:
+        """Fault/recovery accounting (all zero on a fault-free run)."""
+        totals = dict(self.fault_stats)
+        totals["dead_fabrics"] = sum(1 for f in self.fabrics if f.failed)
+        return totals

@@ -36,6 +36,13 @@ class TenantAccount:
     good: int = 0
     service_ns_total: float = 0.0
     queue_wait_ns_total: float = 0.0
+    # -- chaos accounting (all zero unless faults were injected) -------- #
+    #: Requests lost to a fault (dead fabric, corrupt image) and shed.
+    fault_shed: int = 0
+    #: Requests replayed through a surviving fabric after a fault.
+    replayed: int = 0
+    #: Sum over faults of (first post-fault completion - fault instant).
+    recovery_time_ns: float = 0.0
 
 
 class SloMonitor:
@@ -47,6 +54,10 @@ class SloMonitor:
         self.stats = StatSet(f"{name}.slo")
         self.accounts: Dict[str, TenantAccount] = {}
         self.queue_depth: TimeSeries = self.stats.series("queue_depth")
+        #: Number of fault instants observed (0 on every fault-free run).
+        self.faults = 0
+        # Tenants with an open recovery window: name -> fault instant (ns).
+        self._recovery_pending: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
     # Scheduler-facing recording hooks
@@ -56,6 +67,16 @@ class SloMonitor:
         if account is None:
             account = TenantAccount(name=request.tenant, slo_ns=request.slo_ns)
             self.accounts[request.tenant] = account
+        return account
+
+    def register(self, tenant: str, slo_ns: float) -> TenantAccount:
+        """Pre-create a tenant account so the tenant reports even when it
+        never manages to submit (e.g. a migration blackout swallows its
+        whole epoch).  Idempotent; returns the account."""
+        account = self.accounts.get(tenant)
+        if account is None:
+            account = TenantAccount(name=tenant, slo_ns=slo_ns)
+            self.accounts[tenant] = account
         return account
 
     def on_submit(self, request: Request, queue_depth: int) -> None:
@@ -84,6 +105,40 @@ class SloMonitor:
         elif request.slo_ns > 0:
             account.slo_violations += 1
             self.stats.counter("slo_violations_total").increment()
+        fault_at = self._recovery_pending.pop(request.tenant, None)
+        if fault_at is not None:
+            account.recovery_time_ns += self.sim.now - fault_at
+
+    # ------------------------------------------------------------------ #
+    # Chaos hooks (never called on a fault-free run)
+    # ------------------------------------------------------------------ #
+    def on_fault(self, time_ns: float) -> None:
+        """A fault was injected: open a recovery window for every tenant.
+
+        Each tenant's window closes at its first post-fault completion;
+        the elapsed time accumulates into ``recovery_time_ns``.  Windows
+        do not stack — a second fault before recovery extends nothing.
+        """
+        self.faults += 1
+        self.stats.counter("faults_total").increment()
+        for name in self.accounts:
+            self._recovery_pending.setdefault(name, time_ns)
+
+    def on_fault_shed(self, request: Request) -> None:
+        """A previously-admitted request was lost to a fault and shed.
+
+        Unlike :meth:`on_shed` this does *not* count a new submission —
+        the request was already admitted once."""
+        account = self._account(request)
+        account.shed += 1
+        account.fault_shed += 1
+        self.stats.counter("fault_shed_total").increment()
+
+    def on_replay(self, request: Request, queue_depth: int) -> None:
+        """A fault-lost request re-entered the queue for another attempt."""
+        self._account(request).replayed += 1
+        self.stats.counter("replayed_total").increment()
+        self.queue_depth.record(self.sim.now, queue_depth)
 
     # ------------------------------------------------------------------ #
     # Reporting
@@ -116,6 +171,9 @@ class SloMonitor:
             totals.good += account.good
             totals.service_ns_total += account.service_ns_total
             totals.queue_wait_ns_total += account.queue_wait_ns_total
+            totals.fault_shed += account.fault_shed
+            totals.replayed += account.replayed
+            totals.recovery_time_ns += account.recovery_time_ns
             rows.append(self._row(account, histogram.samples, elapsed_ns, extra))
         rows.append(self._row(totals, all_latencies, elapsed_ns, extra))
         return rows
@@ -142,4 +200,10 @@ class SloMonitor:
         })
         for label, fraction in REPORT_PERCENTILES:
             row[f"{label}_latency_us"] = histogram.percentile(fraction) / 1000.0
+        if self.faults > 0:
+            # Chaos columns only appear once a fault was actually injected,
+            # so fault-free runs stay bit-identical to their goldens.
+            row["fault_shed"] = account.fault_shed
+            row["replayed"] = account.replayed
+            row["recovery_time_ns"] = account.recovery_time_ns
         return row

@@ -1,0 +1,513 @@
+"""Tests for the ``repro.chaos`` reliability layer: deterministic fault
+schedules (seeded, picklable, ``PYTHONHASHSEED``-independent), serve-level
+failover (fabric kills, latent SEUs, control-NoC link cuts), the fleet
+chaos control plane (spare promotion, replay, the recovery acceptance
+pins), fault-aware NoC detour routing, and the consistent-hash ring's
+arc-neighbour property that failover re-placement relies on."""
+
+import dataclasses
+import os
+import pickle
+import random
+import subprocess
+import sys
+
+import pytest
+
+from chaos_utils import (
+    REPO_ROOT,
+    aggregate_row,
+    assert_conservation,
+    empty_schedule,
+    pinned_fault,
+    run_chaos_fleet,
+    run_chaos_serve,
+    strip_chaos_columns,
+)
+from repro.chaos import (
+    ChaosConfig,
+    FAULT_KINDS,
+    FaultSchedule,
+    FaultSpec,
+)
+from repro.fleet import NodeSpec, TenantShare
+from repro.fleet.experiments import FLEET_TENANTS
+from repro.fleet.router import HashPlacement
+from repro.noc import NocRouteError
+from repro.noc.topology import make_topology
+from repro.serve.experiments import run_serve
+
+
+# --------------------------------------------------------------------------- #
+# FaultSchedule: validation, determinism, stream independence
+# --------------------------------------------------------------------------- #
+def test_fault_spec_validation():
+    with pytest.raises(ValueError, match="kind"):
+        FaultSpec(kind="gamma_ray", rate_per_epoch=1.0)
+    with pytest.raises(ValueError, match="scope"):
+        FaultSpec(kind="seu", rate_per_epoch=1.0, scope="rack")
+    with pytest.raises(ValueError, match="rate_per_epoch"):
+        FaultSpec(kind="seu", rate_per_epoch=-1.0)
+    with pytest.raises(ValueError, match="never fires"):
+        FaultSpec(kind="seu")
+    with pytest.raises(ValueError, match="negative"):
+        FaultSpec(kind="link", rate_per_epoch=1.0, repair_ns=-1.0)
+
+
+def test_schedule_events_are_sorted_in_window_and_deterministic():
+    schedule = FaultSchedule(seed=11, specs=(
+        FaultSpec(kind="seu", rate_per_epoch=3.0),
+        FaultSpec(kind="fabric", rate_per_epoch=1.5),
+        FaultSpec(kind="link", rate_per_epoch=1.0, repair_ns=50_000.0),
+    ))
+    for epoch in range(4):
+        events = schedule.events(epoch=epoch, node_id=2, fabrics=3,
+                                 epoch_ns=400_000.0)
+        assert events == schedule.events(epoch=epoch, node_id=2, fabrics=3,
+                                         epoch_ns=400_000.0)
+        times = [event.time_ns for event in events]
+        assert times == sorted(times)
+        for event in events:
+            assert 0.0 <= event.time_ns <= 400_000.0
+            assert 0 <= event.fabric < 3
+            assert event.kind in FAULT_KINDS
+
+
+def test_schedule_streams_are_independent_per_spec_epoch_and_node():
+    base = FaultSchedule(seed=5, specs=(
+        FaultSpec(kind="seu", rate_per_epoch=2.0),))
+    extended = FaultSchedule(seed=5, specs=(
+        FaultSpec(kind="seu", rate_per_epoch=2.0),
+        FaultSpec(kind="fabric", rate_per_epoch=2.0),
+    ))
+    # Appending a spec never perturbs the streams of the ones before it
+    # (spec identity enters the stream seed, not tuple-wide state).
+    for epoch in range(3):
+        first = [e for e in extended.events(epoch, 0, 2, 400_000.0)
+                 if e.spec_index == 0]
+        assert tuple(first) == base.events(epoch, 0, 2, 400_000.0)
+    # Different epochs and nodes draw from different streams.
+    draws = {base.events(epoch, node, 2, 400_000.0)
+             for epoch in range(4) for node in range(4)}
+    assert len(draws) > 1
+
+
+def test_schedule_pinned_events_fire_exactly_once():
+    schedule = pinned_fault("fabric", at_epoch=2, at_node=1, scope="node")
+    fired = [(epoch, node)
+             for epoch in range(4) for node in range(3)
+             if schedule.events(epoch, node, 2, 400_000.0)]
+    assert fired == [(2, 1)]
+    (event,) = schedule.events(2, 1, 2, 400_000.0)
+    assert event.kind == "fabric" and event.scope == "node"
+
+
+def test_schedule_rate_scales_mean_event_count():
+    schedule = FaultSchedule(seed=3, specs=(
+        FaultSpec(kind="seu", rate_per_epoch=0.5),
+        FaultSpec(kind="seu", rate_per_epoch=4.0),
+    ))
+    counts = {0: 0, 1: 0}
+    samples = 200
+    for epoch in range(samples):
+        for event in schedule.events(epoch, 0, 2, 400_000.0):
+            counts[event.spec_index] += 1
+    # Loose two-sided bounds: Poisson means 0.5 and 4.0 over 200 draws.
+    assert 0.25 * samples < counts[0] < 0.9 * samples
+    assert 3.0 * samples < counts[1] < 5.0 * samples
+
+
+def test_schedule_validates_events_arguments():
+    schedule = FaultSchedule(seed=1, specs=(
+        FaultSpec(kind="seu", rate_per_epoch=1.0),))
+    with pytest.raises(ValueError, match="fabric"):
+        schedule.events(0, 0, 0, 400_000.0)
+    with pytest.raises(ValueError, match="epoch_ns"):
+        schedule.events(0, 0, 2, 0.0)
+
+
+def test_schedule_pickle_round_trip_preserves_draws():
+    schedule = FaultSchedule(seed=17, specs=(
+        FaultSpec(kind="seu", rate_per_epoch=2.0),
+        FaultSpec(kind="link", rate_per_epoch=1.0, repair_ns=30_000.0),
+    ))
+    clone = pickle.loads(pickle.dumps(schedule))
+    assert clone == schedule
+    assert clone.events(1, 2, 3, 400_000.0) == schedule.events(1, 2, 3, 400_000.0)
+
+
+def test_fault_schedules_are_pythonhashseed_independent():
+    """Stream seeds are CRC-32 + arithmetic mixing only, so interpreters
+    with different string-hash randomization draw identical schedules."""
+    script = (
+        "import dataclasses, json, sys\n"
+        "from repro.chaos import FaultSchedule, FaultSpec\n"
+        "schedule = FaultSchedule(seed=2023, specs=(\n"
+        "    FaultSpec(kind='seu', rate_per_epoch=2.0),\n"
+        "    FaultSpec(kind='fabric', rate_per_epoch=1.0, scope='node'),\n"
+        "    FaultSpec(kind='link', rate_per_epoch=0.5, repair_ns=60000.0),\n"
+        "))\n"
+        "events = [dataclasses.astuple(event)\n"
+        "          for epoch in range(3) for node in range(3)\n"
+        "          for event in schedule.events(epoch, node, 2, 400000.0)]\n"
+        "json.dump(events, sys.stdout)\n"
+    )
+    outputs = []
+    for hashseed in ("0", "1", "31337"):
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+                   PYTHONHASHSEED=hashseed)
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, env=env,
+                              cwd=REPO_ROOT, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+def test_chaos_config_validation_and_enabled():
+    config = ChaosConfig(empty_schedule().schedule)
+    assert not config.enabled
+    assert ChaosConfig(pinned_fault("fabric")).enabled
+
+
+# --------------------------------------------------------------------------- #
+# Serve-level failover
+# --------------------------------------------------------------------------- #
+def test_no_fault_chaos_serve_run_is_bit_identical_to_plain():
+    """An armed-but-empty schedule must not move a single byte: the chaos
+    hooks are default-off and fault-free goldens never change shape."""
+    plain = run_serve(policy="fcfs", duration_us=400.0, num_fabrics=2)
+    chaos = run_serve(policy="fcfs", duration_us=400.0, num_fabrics=2,
+                      chaos=empty_schedule())
+    assert chaos["rows"] == plain["rows"]
+    assert chaos["chaos"]["faults_injected"] == 0
+
+
+def test_fabric_kill_sheds_nothing_with_recovery():
+    # 300 krps keeps both fabrics busy, so the pinned kill is guaranteed
+    # to catch a request in flight.
+    outcome = run_chaos_serve(ChaosConfig(pinned_fault("fabric")),
+                              arrival_rate_krps=300.0)
+    row = aggregate_row(outcome["rows"])
+    assert_conservation(row)
+    assert outcome["chaos"]["fabric_faults"] == 1
+    assert outcome["chaos"]["dead_fabrics"] == 1
+    # The in-flight request on the dead fabric was lost and replayed, not
+    # dropped; recovery_time_ns tracks how long tenants took to recover.
+    assert row["replayed"] == outcome["chaos"]["requests_lost"] > 0
+    assert row["fault_shed"] == 0
+    assert row["recovery_time_ns"] > 0.0
+
+
+def test_fabric_kill_without_recovery_sheds_lost_requests():
+    outcome = run_chaos_serve(
+        ChaosConfig(pinned_fault("fabric"), recovery=False),
+        arrival_rate_krps=300.0)
+    row = aggregate_row(outcome["rows"])
+    assert_conservation(row)
+    assert row["replayed"] == 0
+    assert row["fault_shed"] == outcome["chaos"]["requests_lost"] > 0
+
+
+def test_node_scope_kill_flushes_queue_when_no_fabric_survives():
+    outcome = run_chaos_serve(
+        ChaosConfig(pinned_fault("fabric", scope="node")), num_fabrics=2)
+    row = aggregate_row(outcome["rows"])
+    assert_conservation(row)
+    assert outcome["chaos"]["dead_fabrics"] == 2
+    # Everything submitted after the kill is stranded, then flushed as shed.
+    assert row["shed"] > 0
+
+
+def test_seu_is_latent_until_reprogram_then_scrubbed():
+    # seed=3 lands the upset before the accelerator's next reconfiguration,
+    # so the latent corruption is guaranteed to trip the integrity check.
+    outcome = run_chaos_serve(ChaosConfig(pinned_fault("seu", seed=3)),
+                              policy="fcfs", num_fabrics=1)
+    row = aggregate_row(outcome["rows"])
+    assert_conservation(row)
+    assert outcome["chaos"]["seu_scrubs"] >= 1
+    assert row["replayed"] >= 1
+    # Scrubbing restores the pristine image: the run completes traffic.
+    assert row["completed"] > 0
+
+
+def test_seu_without_recovery_poisons_the_accelerator():
+    outcome = run_chaos_serve(
+        ChaosConfig(pinned_fault("seu", seed=3), recovery=False),
+        policy="fcfs", num_fabrics=1)
+    row = aggregate_row(outcome["rows"])
+    assert_conservation(row)
+    scheduler = outcome["scheduler"]
+    assert scheduler.poisoned
+    assert row["fault_shed"] > 0
+
+
+def test_link_cut_fails_unreachable_fabrics_and_repair_restores_them():
+    outcome = run_chaos_serve(
+        ChaosConfig(pinned_fault("link", repair_ns=50_000.0)),
+        num_fabrics=2)
+    row = aggregate_row(outcome["rows"])
+    assert_conservation(row)
+    assert outcome["chaos"]["link_faults"] == 1
+    # The link repaired mid-run, so no fabric is dead at the end.
+    assert outcome["chaos"]["dead_fabrics"] == 0
+    assert row["completed"] > 0
+
+
+def test_serve_chaos_rows_only_grow_columns_after_a_fault():
+    plain = run_serve(policy="fcfs", duration_us=400.0, num_fabrics=2)
+    chaos = run_chaos_serve(ChaosConfig(pinned_fault("fabric")))
+    assert "fault_shed" not in aggregate_row(plain["rows"])
+    faulted = aggregate_row(chaos["rows"])
+    for column in ("fault_shed", "replayed", "recovery_time_ns"):
+        assert column in faulted
+
+
+# --------------------------------------------------------------------------- #
+# Fleet chaos control plane
+# --------------------------------------------------------------------------- #
+def test_no_fault_chaos_fleet_matches_plain_rows_on_shared_columns():
+    plain = run_chaos_fleet(chaos=None, spares=0)
+    chaos = run_chaos_fleet(empty_schedule(), spares=0)
+    assert [strip_chaos_columns(row) for row in chaos.rows] == plain.rows
+    for row in chaos.rows:
+        assert row["fault_shed"] == 0
+        assert row["replayed"] == 0
+        assert row["spare_promotions"] == 0
+        assert row["dead_nodes"] == 0
+    assert chaos.chaos["promotions"] == 0
+    assert chaos.chaos["dead_nodes"] == []
+
+
+def test_node_kill_promotes_spare_and_replays_lost_requests():
+    schedule = pinned_fault("fabric", at_epoch=1, at_node=0, scope="node")
+    outcome = run_chaos_fleet(ChaosConfig(schedule))
+    row = aggregate_row(outcome.rows)
+    assert_conservation(row)
+    assert outcome.chaos["promotions"] == 1
+    assert outcome.chaos["dead_nodes"] == [0]
+    assert row["spare_promotions"] == 1
+    # The promoted spare simulates as a live node in later epochs.
+    promoted = [report for report in outcome.reports
+                if report["node_id"] >= 1000 and not report.get("spare")]
+    assert promoted
+    assert row["replayed"] > 0
+
+
+def test_node_kill_without_recovery_keeps_shedding():
+    schedule = pinned_fault("fabric", at_epoch=1, at_node=0, scope="node")
+    recovered = run_chaos_fleet(ChaosConfig(schedule))
+    ablated = run_chaos_fleet(ChaosConfig(schedule, recovery=False))
+    assert ablated.chaos["promotions"] == 0
+    assert ablated.chaos["dead_nodes"] == []
+    row = aggregate_row(ablated.rows)
+    assert_conservation(row)
+    assert row["fault_shed"] > 0
+    # Recovery strictly beats the ablation on post-kill goodput.
+    assert (sum(recovered.chaos["epoch_goodput"][2:])
+            > sum(ablated.chaos["epoch_goodput"][2:]))
+
+
+def test_chaos_fleet_serial_matches_process_executor():
+    """Fault draws resolve in the parent as plain data, so which process
+    simulates a node never changes what it sees — bit for bit."""
+    schedule = FaultSchedule(seed=2023, specs=(
+        FaultSpec(kind="fabric", at_epoch=1, at_node=0, scope="node"),
+        FaultSpec(kind="seu", rate_per_epoch=1.0),
+    ))
+    serial = run_chaos_fleet(ChaosConfig(schedule), node_executor="serial")
+    process = run_chaos_fleet(ChaosConfig(schedule), node_executor="process")
+    assert serial.rows == process.rows
+    assert serial.chaos == process.chaos
+
+
+def test_spares_burn_cost_but_take_no_traffic():
+    outcome = run_chaos_fleet(empty_schedule(), spares=1)
+    spare_reports = [r for r in outcome.reports if r.get("spare")]
+    assert len(spare_reports) == 3  # one per epoch
+    for report in spare_reports:
+        assert all(account["submitted"] == 0
+                   for account in report["tenants"].values())
+    assert aggregate_row(outcome.rows)["spare_us"] > 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance pins (mirrors the registered `chaos` experiment)
+# --------------------------------------------------------------------------- #
+def test_pinned_failover_restores_goodput_within_two_epochs():
+    """The headline pin: after losing a whole node in epoch 1, spare
+    promotion + re-placement + replay restore cluster goodput to >= 0.8x
+    its pre-fault level within two epochs."""
+    from repro.chaos.experiments import chaos_cell
+
+    rows = chaos_cell(fault_rate=0.0, policy="affinity", recovery=True)
+    row = aggregate_row(rows)
+    assert row["goodput_recovery"] >= 0.8
+    assert row["spare_promotions"] == 1
+    assert_conservation(row)
+
+
+def test_chaos_experiment_is_registered_with_full_grid():
+    from repro.api.registry import get_experiment
+
+    spec = get_experiment("chaos")
+    assert spec.num_cells() == 3 * 2 * 2  # fault_rate x policy x recovery
+    assert "reliability" in spec.tags
+
+
+def test_chaos_summary_reports_recovery_and_gain():
+    from repro.chaos.experiments import chaos_summary
+
+    def fake_row(fault_rate, policy, recovery, ratio, post_total):
+        return {"tenant": "__all__", "fault_rate": fault_rate,
+                "policy": policy, "recovery": recovery,
+                "goodput_recovery": ratio, "post_fault_good_total": post_total}
+
+    summary = chaos_summary([
+        fake_row(0.0, "fcfs", True, 0.95, 300),
+        fake_row(0.0, "fcfs", False, 0.60, 200),
+    ])
+    assert summary["goodput_recovery[fcfs@rate0]"] == 0.95
+    assert summary["recovered_within_2_epochs[fcfs@rate0]"] is True
+    assert summary["recovery_goodput_gain[fcfs@rate0]"] == 1.5
+    assert summary["all_points_recovered"] is True
+
+
+# --------------------------------------------------------------------------- #
+# Consistent-hash ring: the arc-neighbour property failover relies on
+# --------------------------------------------------------------------------- #
+def test_hash_ring_growth_moves_only_arc_neighbour_tenants():
+    """Adding a node to the consistent-hash ring only moves tenants *onto*
+    the new node (the arcs it claims); no tenant hops between two old
+    nodes.  Failover re-placement depends on this locality."""
+    policy = HashPlacement()
+    rng = random.Random(1234)
+    tenant_pool = list(FLEET_TENANTS)
+    for trial in range(20):
+        count = rng.randint(2, 6)
+        nodes = [NodeSpec(node_id=i, fabrics=rng.randint(1, 2))
+                 for i in range(count)]
+        shares = tuple(TenantShare(tenant=t, rate_rps=1000.0)
+                       for t in tenant_pool)
+        before = policy.place(shares, nodes)
+        grown = nodes + [NodeSpec(node_id=count + rng.randint(0, 50))]
+        after = policy.place(shares, grown)
+        moved = {name for name in before if after[name] != before[name]}
+        assert all(after[name] == grown[-1].node_id for name in moved)
+
+
+def test_hash_ring_shrink_moves_only_the_dead_nodes_tenants():
+    """Removing a node (the failover direction) strands only its own
+    tenants; everyone else stays put."""
+    policy = HashPlacement()
+    shares = tuple(TenantShare(tenant=t, rate_rps=1000.0)
+                   for t in FLEET_TENANTS)
+    nodes = [NodeSpec(node_id=i) for i in range(5)]
+    before = policy.place(shares, nodes)
+    for dead in range(5):
+        survivors = [n for n in nodes if n.node_id != dead]
+        after = policy.place(shares, survivors)
+        for name, node_id in before.items():
+            if node_id != dead:
+                assert after[name] == node_id
+
+
+# --------------------------------------------------------------------------- #
+# Fault-aware NoC routing (seeded sweeps; no hypothesis dependency)
+# --------------------------------------------------------------------------- #
+TOPOLOGY_CASES = (
+    ("mesh", 4, 3),
+    ("torus", 3, 3),
+    ("ring", 8, 1),
+)
+
+
+def _random_link_faults(topology, rng, max_faults=3):
+    """Fail up to ``max_faults`` random live links; returns the pairs."""
+    failed = []
+    for _ in range(rng.randint(1, max_faults)):
+        node = rng.randrange(topology.node_count)
+        neighbors = topology.neighbors(node)
+        if not neighbors:
+            continue
+        other = rng.choice(neighbors)
+        if (node, other) not in topology.dead_links:
+            topology.fail_link(node, other)
+            failed.append((node, other))
+    return failed
+
+
+@pytest.mark.parametrize("kind,width,height", TOPOLOGY_CASES)
+def test_detour_routes_honour_the_routing_contract(kind, width, height):
+    rng = random.Random(97)
+    for trial in range(25):
+        topology = make_topology(kind, width, height)
+        _random_link_faults(topology, rng)
+        dead = topology.dead_links
+        for src in range(topology.node_count):
+            reachable = topology.reachable_set(src)
+            for dst in range(topology.node_count):
+                if dst not in reachable:
+                    assert not topology.reachable(src, dst)
+                    with pytest.raises(NocRouteError):
+                        topology.route(src, dst)
+                    continue
+                route = topology.route(src, dst)
+                if src == dst:
+                    assert route == ()
+                    continue
+                # Contiguous src -> dst over live neighbour links, at least
+                # as long as the fault-free distance.
+                assert route[0][0] == src and route[-1][1] == dst
+                for (a, b), (c, _) in zip(route, route[1:]):
+                    assert b == c
+                for a, b in route:
+                    assert b in topology.neighbors(a)
+                    assert (a, b) not in dead
+                assert len(route) >= topology.hop_count(src, dst)
+
+
+@pytest.mark.parametrize("kind,width,height", TOPOLOGY_CASES)
+def test_detour_routes_are_deterministic_across_instances(kind, width, height):
+    rng = random.Random(31)
+    for trial in range(10):
+        first = make_topology(kind, width, height)
+        faults = _random_link_faults(first, rng)
+        second = make_topology(kind, width, height)
+        for a, b in faults:
+            second.fail_link(a, b)
+        for src in range(first.node_count):
+            for dst in range(first.node_count):
+                if not first.reachable(src, dst):
+                    continue
+                assert first.route(src, dst) == second.route(src, dst)
+
+
+@pytest.mark.parametrize("kind,width,height", TOPOLOGY_CASES)
+def test_heal_link_restores_the_pristine_routes(kind, width, height):
+    pristine = make_topology(kind, width, height)
+    topology = make_topology(kind, width, height)
+    rng = random.Random(58)
+    faults = _random_link_faults(topology, rng)
+    for a, b in faults:
+        topology.heal_link(a, b)
+    assert topology.dead_links == frozenset()
+    for src in range(topology.node_count):
+        for dst in range(topology.node_count):
+            assert topology.route(src, dst) == pristine.route(src, dst)
+
+
+def test_partition_raises_and_reachable_set_agrees():
+    ring = make_topology("ring", 6)
+    ring.fail_link(0, 1)
+    assert ring.reachable(0, 3)  # the long way around survives
+    ring.fail_link(3, 4)
+    # Two cuts partition a ring: {1, 2, 3} vs {4, 5, 0}.
+    assert ring.reachable_set(0) == {4, 5, 0}
+    assert ring.reachable_set(1) == {1, 2, 3}
+    with pytest.raises(NocRouteError, match="partition"):
+        ring.route(0, 2)
+    ring.heal_link(0, 1)
+    assert ring.reachable(0, 2)

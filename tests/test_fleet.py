@@ -329,6 +329,27 @@ def test_migrated_tenant_pays_the_blackout():
     assert migrated["submitted"] < settled["submitted"]
 
 
+def test_blackout_swallowing_the_whole_epoch_keeps_the_tenant_row():
+    """Regression: a migration blackout longer than the epoch leaves the
+    tenant with zero submissions — it must still report a zeroed account
+    (the monitor pre-registers every placed share), and a closed-loop
+    tenant's clients must terminate instead of idling past the epoch."""
+    node = NodeSpec(node_id=0)
+    tenants = (FLEET_TENANTS[0],
+               TenantSpec(name="closedloop", accelerator="popcount",
+                          pattern="closed", clients=2, think_ns=5_000.0))
+    shares = tuple(TenantShare(tenant=t, rate_rps=100_000.0, migrated=True)
+                   for t in tenants)
+    report = simulate_node(node=node, shares=shares, policy="fcfs",
+                           epoch_ns=50_000.0, epoch=0, seed=2023,
+                           state_transfer_ns=80_000.0)
+    assert set(report["tenants"]) == {t.name for t in tenants}
+    for name, account in report["tenants"].items():
+        assert account["submitted"] == 0, name
+        assert account["completed"] == 0, name
+    assert report["migration_stall_ns"] > 2 * 80_000.0
+
+
 # --------------------------------------------------------------------------- #
 # The cluster driver: deterministic merge, serial == process
 # --------------------------------------------------------------------------- #

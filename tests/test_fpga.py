@@ -134,17 +134,92 @@ def test_bitstream_corruption_detected():
 
 
 def test_bitstream_corrupted_rejects_noop_mask():
-    """A flip mask with no bits in the low byte would silently return an
+    """A flip mask that cannot change the payload would silently return an
     *uncorrupted* copy — fault-injection tests relying on it would pass
     vacuously.  It must raise instead."""
     design = AcceleratorDesign(name="acc", luts=100, ffs=100)
     fabric = FabricInstance(FabricSpec(), columns=6, rows=6)
     bitstream = Bitstream.generate(design, fabric)
-    for mask in (0, 0x100, 0xF00):
-        with pytest.raises(BitstreamError, match="no bits in the low byte"):
+    for mask in (0, -1, -0xFF):
+        with pytest.raises(BitstreamError, match="positive bit pattern"):
             bitstream.corrupted(flip_mask=mask)
-    # Masks with any low-byte bit still corrupt.
+    # Multi-byte masks corrupt the bytes their non-zero mask bytes cover.
     assert not bitstream.corrupted(flip_mask=0x101).verify()
+    assert not bitstream.corrupted(flip_mask=0x100).verify()
+
+
+def test_bitstream_corrupted_multi_byte_burst_and_wraparound():
+    """A multi-byte burst lands little-endian from the offset, wrapping
+    around the end of the payload (the chaos layer draws arbitrary
+    offsets)."""
+    design = AcceleratorDesign(name="acc", luts=100, ffs=100)
+    fabric = FabricInstance(FabricSpec(), columns=6, rows=6)
+    bitstream = Bitstream.generate(design, fabric)
+    size = bitstream.size_bytes
+
+    burst = bitstream.corrupted(offset=7, flip_mask=0x0201FF)
+    assert not burst.verify()
+    changed = [i for i in range(size) if burst.data[i] != bitstream.data[i]]
+    assert changed == [7, 8, 9]
+    assert burst.data[7] == bitstream.data[7] ^ 0xFF
+    assert burst.data[8] == bitstream.data[8] ^ 0x01
+    assert burst.data[9] == bitstream.data[9] ^ 0x02
+
+    wrapped = bitstream.corrupted(offset=size - 1, flip_mask=0xFFFF)
+    assert not wrapped.verify()
+    changed = [i for i in range(size) if wrapped.data[i] != bitstream.data[i]]
+    assert changed == [0, size - 1]
+    # Offsets are taken modulo the payload size, so any drawn offset lands.
+    assert (bitstream.corrupted(offset=size * 3 + 5).data
+            == bitstream.corrupted(offset=5).data)
+
+
+def test_bitstream_corrupted_rejects_empty_and_cancelling_masks():
+    empty = Bitstream(design_name="none", data=b"", crc=0, config_bits=0)
+    with pytest.raises(BitstreamError, match="empty"):
+        empty.corrupted()
+    # On a 1-byte payload a 2-byte mask folds both bytes onto index 0;
+    # 0x0101 XORs it twice with 0x01 and cancels out.
+    tiny = Bitstream(design_name="tiny", data=b"\x42",
+                     crc=__import__("zlib").crc32(b"\x42"), config_bits=8)
+    with pytest.raises(BitstreamError, match="cancels out"):
+        tiny.corrupted(flip_mask=0x0101)
+    assert not tiny.corrupted(flip_mask=0x01).verify()
+
+
+def test_corruption_mid_transfer_trips_the_post_transfer_check():
+    """An upset landing while the configuration memory is being written
+    must not activate a corrupt design: ``ControlHub.program`` re-verifies
+    after the transfer window and raises (see repro.chaos)."""
+    from repro.core.exceptions import DuetError
+    from repro.serve.scheduler import FabricScheduler, ServeConfig
+
+    sim = Simulator()
+    scheduler = FabricScheduler(sim, ServeConfig(accelerators=("popcount",)))
+    hub = scheduler.fabrics[0].control_hub
+    bitstream = scheduler.accelerators["popcount"].bitstream
+    errors = []
+
+    def programmer():
+        try:
+            yield from hub.program(bitstream)
+        except DuetError as exc:
+            errors.append(str(exc))
+
+    def upset():
+        # Fire inside the transfer window: the pre-transfer verify already
+        # passed, so only the post-transfer re-check can catch this.
+        yield sim.timeout(1.0)
+        assert hub.programming_busy
+        bitstream.data = bitstream.corrupted(offset=3).data
+
+    sim.process(programmer())
+    sim.process(upset())
+    sim.run()
+    assert len(errors) == 1
+    assert "corrupted during the configuration transfer" in errors[0]
+    assert hub.programmed_bitstream is None
+    assert not hub.programming_busy
 
 
 # --------------------------------------------------------------------------- #

@@ -195,6 +195,63 @@ def test_closed_loop_clients_wait_for_completion():
     assert in_flight["max"] <= 2
 
 
+def _instant_finish(sim):
+    """A submit callback that completes every request after a fixed delay."""
+    arrivals = []
+
+    def submit(request):
+        arrivals.append(sim.now)
+
+        def finish():
+            yield sim.timeout(100.0)
+            request.finish_ns = sim.now
+            if request.completion is not None:
+                request.completion.succeed(request)
+
+        sim.process(finish())
+
+    return submit, arrivals
+
+
+@pytest.mark.parametrize("pattern", ["poisson", "closed"])
+def test_start_delay_blackout_delays_but_never_drops(pattern):
+    """A migration blackout (``start_delay_ns``) postpones the tenant's
+    whole arrival process; the first request lands after the blackout and
+    the stream still flows (regression: closed-loop clients must pay the
+    blackout *before* their think-time stagger, not lose requests to it)."""
+    sim = Simulator()
+    tenant = TenantSpec(name="t", accelerator="popcount", pattern=pattern,
+                        clients=2, think_ns=1_000.0)
+    submit, arrivals = _instant_finish(sim)
+    source = TrafficSource(sim, tenant, submit, 500_000.0,
+                           duration_ns=100_000.0, seed=3,
+                           start_delay_ns=40_000.0)
+    source.start()
+    sim.run()
+    assert source.emitted > 0
+    assert min(arrivals) >= 40_000.0
+    assert max(arrivals) < 110_000.0
+
+
+@pytest.mark.parametrize("pattern", ["poisson", "closed"])
+def test_blackout_longer_than_window_emits_nothing_and_terminates(pattern):
+    """A blackout outlasting the epoch swallows the tenant's traffic
+    entirely — zero arrivals, but the processes still terminate (a closed
+    client must re-check the duration after the blackout, not block)."""
+    sim = Simulator()
+    tenant = TenantSpec(name="t", accelerator="popcount", pattern=pattern,
+                        clients=2, think_ns=1_000.0)
+    submit, arrivals = _instant_finish(sim)
+    source = TrafficSource(sim, tenant, submit, 500_000.0,
+                           duration_ns=100_000.0, seed=3,
+                           start_delay_ns=250_000.0)
+    processes = source.start()
+    sim.run()
+    assert arrivals == []
+    assert source.emitted == 0
+    assert all(process.finished for process in processes)
+
+
 def test_request_lifecycle_metrics():
     request = Request(request_id=1, tenant="t", accelerator="popcount",
                       size=4, slo_ns=100.0)
@@ -396,6 +453,29 @@ def test_slo_monitor_accounting():
     assert aggregate["completed"] == 2
     with pytest.raises(ValueError, match="elapsed"):
         monitor.tenant_rows(elapsed_ns=0.0)
+
+
+def test_registered_tenant_reports_zeroed_row_without_traffic():
+    """Regression: a tenant whose migration blackout swallowed its whole
+    epoch must still appear in the rows (zeroed), not vanish from the
+    accounts — downstream merges key on the tenant column."""
+    sim = Simulator()
+    monitor = SloMonitor(sim)
+    monitor.register("silent", slo_ns=100.0)
+    request = Request(request_id=0, tenant="busy", accelerator="popcount",
+                      size=1, slo_ns=100.0)
+    request.arrival_ns, request.start_ns, request.finish_ns = 0.0, 1.0, 2.0
+    monitor.on_submit(request, 1)
+    monitor.on_complete(request)
+    rows = monitor.tenant_rows(elapsed_ns=1_000.0)
+    silent = next(row for row in rows if row["tenant"] == "silent")
+    assert silent["submitted"] == 0
+    assert silent["completed"] == 0
+    assert silent["goodput_krps"] == 0.0
+    # Idempotent: re-registering never resets a live account.
+    account = monitor.register("busy", slo_ns=999.0)
+    assert account.completed == 1
+    assert account.slo_ns == 100.0
 
 
 def test_tenant_rows_are_sorted_and_percentiles_monotone():

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Enforce per-package line-coverage floors from a pytest-cov JSON report.
+
+The CI ``coverage`` job runs the tier-1 suite with ``pytest-cov`` (a
+CI-only dependency; the floors were measured locally with a stdlib tracer
+and committed with margin), writes ``coverage.json``, and this script
+compares each package listed in ``COVERAGE_floor.json`` against its floor::
+
+    python tools/check_coverage.py coverage.json COVERAGE_floor.json
+
+A package's coverage is the statement-weighted aggregate over every file
+under its path prefix.  Exits non-zero listing every package below floor —
+the gate catches *coverage regressions* (a new untested subsystem riding
+into ``repro.serve``/``repro.fleet``/``repro.chaos``), not absolute
+quality; raise the floors when real coverage grows.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, Optional
+
+
+def package_coverage(report: Dict, prefix: str) -> Optional[Dict[str, float]]:
+    """Aggregate covered/total statements over files under ``prefix``."""
+    covered = statements = 0
+    for path, entry in report.get("files", {}).items():
+        if path.replace("\\", "/").startswith(prefix):
+            summary = entry["summary"]
+            covered += summary["covered_lines"]
+            statements += summary["num_statements"]
+    if statements == 0:
+        return None
+    return {"covered": covered, "statements": statements,
+            "percent": 100.0 * covered / statements}
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    with open(argv[1]) as handle:
+        report = json.load(handle)
+    with open(argv[2]) as handle:
+        floors = json.load(handle)["floors"]
+
+    failures = []
+    for prefix in sorted(floors):
+        floor = floors[prefix]
+        stats = package_coverage(report, prefix)
+        if stats is None:
+            print(f"{prefix:24s} -- no files measured (floor {floor:.1f}%)")
+            failures.append(f"{prefix}: no files in the coverage report")
+            continue
+        below = stats["percent"] < floor
+        status = "BELOW FLOOR" if below else "OK"
+        print(f"{prefix:24s} {stats['percent']:6.1f}% "
+              f"({stats['covered']}/{stats['statements']} statements, "
+              f"floor {floor:.1f}%)  {status}")
+        if below:
+            failures.append(
+                f"{prefix}: {stats['percent']:.1f}% < floor {floor:.1f}%")
+    if failures:
+        print("\ncoverage floor violations:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
