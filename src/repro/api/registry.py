@@ -478,6 +478,31 @@ register_experiment(ExperimentSpec(
 ))
 
 # --------------------------------------------------------------------------- #
+# Reconfig experiment (cells live in repro.reconfig.experiments, same rule)
+# --------------------------------------------------------------------------- #
+from repro.reconfig import experiments as reconfig_experiments  # noqa: E402
+
+register_experiment(ExperimentSpec(
+    name="reconfig",
+    cell=reconfig_experiments.reconfig_cell,
+    title="Reconfig — Region Grid x Policy x Tenant Mix x Provisioning",
+    description="Region-granular partial reconfiguration on one shared "
+                "fabric: co-located designs hot-swap contiguous region "
+                "spans (paying only the changed regions' bits) with LRU "
+                "eviction under provisioning pressure; regions=1 is the "
+                "whole-fabric baseline (see docs/reconfig.md).",
+    grid={"regions": (1, 2, 4),
+          "policy": ("fcfs", "affinity"),
+          "tenant_mix": ("duo", "quad"),
+          "fabric_scale": (1.0, 0.6)},
+    fixed={"arrival_rate_krps": 250.0, "duration_us": 2_000.0,
+           "queue_capacity": 64, "patience_ns": 100_000.0,
+           "seed": reconfig_experiments.DEFAULT_SEED},
+    summarize=reconfig_experiments.reconfig_summary,
+    tags=("reconfig", "serve", "sweep", "placement"),
+))
+
+# --------------------------------------------------------------------------- #
 # Chaos experiment (cells live in repro.chaos.experiments, same import rule)
 # --------------------------------------------------------------------------- #
 from repro.chaos import experiments as chaos_experiments  # noqa: E402

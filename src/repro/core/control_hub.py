@@ -44,6 +44,23 @@ SOFT_REGISTER_STRIDE = 0x8
 CONTROL_REGION_SIZE = 0x2000
 
 
+def program_cycles(config_bits: int, bits_per_cycle: int) -> int:
+    """System cycles the programming engine spends transferring an image.
+
+    The single source of truth for configuration-transfer time: used by
+    :meth:`ControlHub.program` and by fleet migration stalls
+    (:func:`repro.fleet.node.migration_stall_ns`), so region-granular
+    accounting cannot drift between serve and fleet.  A partial transfer
+    still pays at least one cycle.
+    """
+    if config_bits < 0:
+        raise ValueError(f"config_bits must be non-negative, got {config_bits}")
+    if bits_per_cycle < 1:
+        raise ValueError(
+            f"bits_per_cycle must be positive, got {bits_per_cycle}")
+    return max(1, -(-config_bits // bits_per_cycle))
+
+
 @dataclass
 class ControlHubConfig:
     """Static configuration of one Control Hub."""
@@ -153,8 +170,8 @@ class ControlHub:
             if not bitstream.verify():
                 self.exceptions.raise_error(ErrorCode.BITSTREAM_CORRUPT)
                 raise DuetError(f"bitstream {bitstream.design_name!r} failed its integrity check")
-            transfer_cycles = max(
-                1, bitstream.config_bits // self.config.programming_bits_per_cycle
+            transfer_cycles = program_cycles(
+                bitstream.config_bits, self.config.programming_bits_per_cycle
             )
             yield self.sys_domain.wait_cycles(transfer_cycles)
             # Re-verify after the transfer window: an SEU that lands while

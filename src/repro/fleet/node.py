@@ -33,6 +33,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import random
 
+from repro.core.control_hub import program_cycles
 from repro.serve.catalog import resolve_accelerator
 from repro.serve.scheduler import FabricScheduler, ServeConfig
 from repro.serve.slo import SloMonitor
@@ -114,8 +115,10 @@ def migration_stall_ns(scheduler: FabricScheduler, accelerator: str,
     one full bitstream program at the node's system clock plus the fixed
     state-transfer cost."""
     bitstream = scheduler.accelerators[accelerator].bitstream
-    bits_per_cycle = scheduler.config.control_hub.programming_bits_per_cycle
-    cycles = -(-bitstream.config_bits // bits_per_cycle)  # ceil div
+    cycles = program_cycles(
+        bitstream.config_bits,
+        scheduler.config.control_hub.programming_bits_per_cycle,
+    )
     return cycles * 1000.0 / system_mhz + state_transfer_ns
 
 

@@ -112,6 +112,41 @@ class FabricInstance:
     def config_bits(self) -> int:
         return self.total_tiles * self.spec.config_bits_per_tile
 
+    # ------------------------------------------------------------------ #
+    # Region grid (partial reconfiguration)
+    # ------------------------------------------------------------------ #
+    def region_columns(self, regions: int) -> tuple:
+        """Split the fabric into ``regions`` contiguous column bands.
+
+        PRGA-style partial reconfiguration treats the fabric as an array of
+        regions, each with its own configuration chain; a band covers whole
+        columns so its configuration bits are a multiple of the per-tile
+        bits.  Columns divide as evenly as possible, extras to the leftmost
+        bands, so the split is deterministic.
+        """
+        if regions < 1:
+            raise ValueError(f"need at least one region, got {regions}")
+        if regions > self.columns:
+            raise ValueError(
+                f"cannot split {self.columns} columns into {regions} regions"
+            )
+        base, extra = divmod(self.columns, regions)
+        return tuple(base + (1 if index < extra else 0)
+                     for index in range(regions))
+
+    def region_tile_capacities(self, regions: int) -> tuple:
+        """Tiles per region band (the capacity the placement ladder packs)."""
+        return tuple(cols * self.rows for cols in self.region_columns(regions))
+
+    def region_config_bits(self, regions: int) -> tuple:
+        """Configuration bits per region band.
+
+        Sums to :attr:`config_bits` exactly; each entry is what one
+        region-granular reprogram transfers through the Control Hub.
+        """
+        bits = self.spec.config_bits_per_tile
+        return tuple(tiles * bits for tiles in self.region_tile_capacities(regions))
+
     def fits(self, clbs: int, bram_kbits: int, dsps: int) -> bool:
         """Whether a design needing the given resources fits this fabric."""
         return (

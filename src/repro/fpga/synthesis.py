@@ -69,6 +69,16 @@ class SynthesisResult:
         total = self.fabric.total_bram_tiles
         return self.bram_tiles_used / total if total else 0.0
 
+    @property
+    def tiles_needed(self) -> int:
+        """Fabric tiles the placed design occupies (what region packing bins).
+
+        The synthesized fabric is the minimal device for the design
+        (:meth:`FabricInstance.minimal_for`, routing slack included), so its
+        tile count is the footprint a placement ladder must find room for.
+        """
+        return self.fabric.total_tiles
+
     def normalized_area(self, reference_area_mm2: float) -> float:
         """Area normalized to a reference block (Ariane + P-Mesh socket)."""
         return self.area_mm2 / reference_area_mm2

@@ -102,6 +102,17 @@ SUITE = [
         params={"duration_us": 4_000.0, "arrival_rate_krps": 250.0,
                 "policy": "affinity"},
     ),
+    # The gated region-granular serving number: the duo workload on one
+    # shared 4-region fabric under the affinity policy — allocator, span
+    # hot swaps and partial-image programming on the measured path
+    # (BENCH_reconfig.json CI artifact).
+    BenchSpec(
+        name="reconfig_requests_per_sec",
+        fn=micro.reconfig_request_throughput,
+        unit="requests/s",
+        params={"duration_us": 4_000.0, "arrival_rate_krps": 250.0,
+                "policy": "affinity", "regions": 4},
+    ),
     # The gated fleet number: requests served per wall second through the
     # cluster layer — placement, the epoch driver, per-node serving and
     # the deterministic merge (BENCH_fleet.json CI artifact).

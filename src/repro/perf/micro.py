@@ -30,6 +30,11 @@ budget:
   through the :mod:`repro.serve` subsystem on the two-tenant
   reconfiguration-pressure mix: the gated ``serve_requests_per_sec``
   number, published in the ``BENCH_serve.json`` CI artifact.
+* :func:`reconfig_request_throughput` — the same serving workload on a
+  region-gridded fabric (:mod:`repro.reconfig`): allocator, span hot
+  swaps and partial-image programming on the hot path — the gated
+  ``reconfig_requests_per_sec`` number, published in the
+  ``BENCH_reconfig.json`` CI artifact.
 * :func:`fleet_request_throughput` — served requests per wall second
   through the :mod:`repro.fleet` cluster layer (placement, per-node
   simulation, deterministic merge): the gated ``fleet_requests_per_sec``
@@ -206,6 +211,37 @@ def serve_request_throughput(duration_us: float = 4_000.0,
     if completed <= 0 or aggregate["shed"] + completed != aggregate["submitted"]:
         raise RuntimeError(
             f"serve bench lost requests: completed={completed} "
+            f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
+        )
+    return completed / elapsed
+
+
+def reconfig_request_throughput(duration_us: float = 4_000.0,
+                                arrival_rate_krps: float = 250.0,
+                                policy: str = "affinity",
+                                regions: int = 4) -> float:
+    """Served requests per wall second through *region-granular* serving.
+
+    The same duo workload as :func:`serve_request_throughput`, but on one
+    shared fabric carved into ``regions`` spans (:mod:`repro.reconfig`):
+    every request exercises the region allocator (lookup/pin/place), the
+    startable-filter worker path and partial-image programming through
+    ``Bitstream.for_regions`` — the region layer's end-to-end overhead per
+    request.  Fully deterministic; only the wall clock varies between
+    repeats (``BENCH_reconfig.json`` CI artifact, gated).
+    """
+    from repro.serve.experiments import run_serve
+
+    start = time.perf_counter()
+    outcome = run_serve(policy, tenant_mix="duo",
+                        arrival_rate_krps=arrival_rate_krps,
+                        duration_us=duration_us, regions=regions)
+    elapsed = time.perf_counter() - start
+    aggregate = [row for row in outcome["rows"] if row["tenant"] == "__all__"][0]
+    completed = aggregate["completed"]
+    if completed <= 0 or aggregate["shed"] + completed != aggregate["submitted"]:
+        raise RuntimeError(
+            f"reconfig bench lost requests: completed={completed} "
             f"shed={aggregate['shed']} submitted={aggregate['submitted']}"
         )
     return completed / elapsed

@@ -65,6 +65,11 @@ class ServedAccelerator:
     def fmax_mhz(self) -> float:
         return self.synthesis.fmax_mhz
 
+    @property
+    def tiles_needed(self) -> int:
+        """Fabric tiles the design occupies (the region-packing footprint)."""
+        return self.synthesis.tiles_needed
+
     def service_cycles(self, size: int) -> int:
         return self.spec.service_cycles(size)
 

@@ -83,6 +83,8 @@ def run_serve(
     power: bool = False,
     max_events: int = 20_000_000,
     chaos: Optional[Any] = None,
+    regions: int = 1,
+    region_fabric_scale: float = 1.0,
 ) -> Dict[str, Any]:
     """Run one serving deployment to completion; returns rows + aggregates.
 
@@ -97,7 +99,19 @@ def run_serve(
     schedule's ``(epoch=0, node=0)`` stream over the traffic window.  A
     ``chaos`` whose schedule is empty injects nothing and the run stays
     bit-identical to a plain one (pinned by ``tests/test_chaos.py``).
+
+    ``regions > 1`` switches every fabric to the region-granular path
+    (:mod:`repro.reconfig`): co-located designs, span hot swaps, LRU
+    eviction.  ``regions=1`` (the default) takes the whole-fabric path and
+    is bit-identical to a build without region support — the region
+    columns below only exist when regions > 1, same contract as the chaos
+    columns.
     """
+    if regions > 1 and power:
+        raise ValueError(
+            "power accounting is not supported with regions > 1: the "
+            "EnergyModel tracks one shared eFPGA clock domain, but a "
+            "region grid runs each resident design at its own clock")
     tenants = get_mix(tenant_mix)
     sim = Simulator()
     config = ServeConfig(
@@ -106,6 +120,8 @@ def run_serve(
         queue_capacity=queue_capacity,
         patience_ns=patience_ns,
         accelerators=tuple(dict.fromkeys(t.accelerator for t in tenants)),
+        regions=regions,
+        region_fabric_scale=region_fabric_scale,
     )
     monitor = SloMonitor(sim)
     scheduler = FabricScheduler(sim, config, monitor=monitor)
@@ -165,6 +181,11 @@ def run_serve(
         row["elapsed_us"] = elapsed_ns / 1000.0
     if energy is not None:
         _add_energy_columns(rows, energy)
+    if regions > 1:
+        region_totals = scheduler.region_totals()
+        for row in rows:
+            row.update(region_totals)
+            row["region_fabric_scale"] = region_fabric_scale
     if monitor.faults > 0:
         # Deployment-wide fault accounting; columns only exist once a
         # fault actually fired, so fault-free goldens never change shape.

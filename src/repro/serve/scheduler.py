@@ -22,6 +22,15 @@ Scheduling policies are pluggable (:data:`POLICY_KINDS`):
   reconfiguration cost, which is the serving-side payoff of bitstream
   programmability.
 
+With ``ServeConfig.regions > 1`` each fabric is one *shared* device carved
+into K column-band regions (:mod:`repro.reconfig`): designs co-locate on
+contiguous spans, a switch programs only the changed span
+(:meth:`Bitstream.for_regions` through the same ``ControlHub.program``),
+idle spans are evicted LRU-first when the grid is full, and K region
+workers per fabric serve different resident designs concurrently.  With
+the default ``regions=1`` the whole-fabric path below runs unchanged —
+bit-identical to a build without region support.
+
 Everything is driven by simulated time and seeded randomness only, so a
 serve run is exactly as deterministic as any other experiment cell.
 """
@@ -37,6 +46,8 @@ from repro.cpu.mmio import MmioMap
 from repro.fpga.bitstream import Bitstream
 from repro.fpga.clocking import ProgrammableClockGenerator
 from repro.noc import NocNetwork, TileRouter, make_topology
+from repro.reconfig.placement import RegionAllocator
+from repro.reconfig.plan import RegionPlan
 from repro.serve.catalog import ServedAccelerator, materialize
 from repro.serve.slo import SloMonitor
 from repro.serve.traffic import Request
@@ -110,11 +121,11 @@ class AffinityPolicy(SchedulingPolicy):
         now = fabric.sim.now
         if now - head.arrival_ns > self.patience_ns:
             return 0
-        current = fabric.current_design
-        if current is not None:
-            for index, request in enumerate(pending):
-                if request.accelerator == current:
-                    return index
+        resident = getattr(fabric, "has_resident", None)
+        for index, request in enumerate(pending):
+            if (resident(request.accelerator) if resident is not None
+                    else request.accelerator == fabric.current_design):
+                return index
         return 0
 
 
@@ -151,6 +162,7 @@ class FabricContext:
         fpga_mhz: Optional[float] = None,
         hub_config: Optional[ControlHubConfig] = None,
         images: Optional[Dict[str, Bitstream]] = None,
+        plan: Optional[RegionPlan] = None,
     ) -> None:
         self.sim = sim
         self.sys_domain = sys_domain
@@ -176,6 +188,14 @@ class FabricContext:
         #: Corrupt-image overrides shared with the scheduler (see
         #: :attr:`FabricScheduler.images`); empty on every fault-free run.
         self.images: Dict[str, Bitstream] = images if images is not None else {}
+        # -- region mode (repro.reconfig; None = whole-fabric path) ------ #
+        self.plan = plan
+        self.allocator: Optional[RegionAllocator] = (
+            RegionAllocator(plan.capacities) if plan is not None else None)
+        self.region_programmings = 0
+        self.regions_programmed = 0
+        self.frag_samples: List[float] = []
+        self.active_requests: List[Request] = []
         # -- fault state (repro.chaos) ---------------------------------- #
         self.failed = False
         self.fail_time_ns = -1.0
@@ -206,12 +226,37 @@ class FabricContext:
         # The configuration memory did not survive the fault: the next
         # request pays a full reprogram through ControlHub.program.
         self.current_design = None
+        if self.allocator is not None:
+            self.allocator.reset()
         if self._repair is not None and not self._repair.triggered:
             self._repair.succeed()
 
     # ------------------------------------------------------------------ #
     # Introspection used by policies
     # ------------------------------------------------------------------ #
+    def has_resident(self, name: str) -> bool:
+        """Whether ``name`` is loaded on this fabric right now.
+
+        The affinity test: in region mode a design is resident while it
+        holds a span; in whole-fabric mode it is resident when it is the
+        currently programmed bitstream.
+        """
+        if self.allocator is not None:
+            return self.allocator.lookup(name) is not None
+        return name == self.current_design
+
+    def can_start(self, request: Request) -> bool:
+        """Region mode: can ``request`` start now without waiting?
+
+        Yes when its design holds an *idle* span (pins mark in-service
+        instances: one span serves one request at a time), or when a span
+        could be placed — evicting idle residents LRU-first if needed.
+        """
+        name = request.accelerator
+        if self.allocator.lookup(name) is not None:
+            return not self.allocator.is_pinned(name)
+        return self.allocator.can_place(self.plan.tiles[name], name)
+
     def clock_mhz_for(self, accelerator: ServedAccelerator) -> float:
         """The clock the generator would settle at for this accelerator."""
         target = self.fpga_mhz if self.fpga_mhz is not None else accelerator.fmax_mhz
@@ -262,6 +307,63 @@ class FabricContext:
         self.stats.counter("served").increment()
         return request
 
+    # ------------------------------------------------------------------ #
+    # The region-granular serve path (ServeConfig.regions > 1)
+    # ------------------------------------------------------------------ #
+    def program_span(self, name: str, span: Tuple[int, ...]):
+        """Hot-swap one contiguous span: transfer only its regions' bits."""
+        started = self.sim.now
+        image = self.images.get(name, self.plan.images[name])
+        yield from self.control_hub.program(image.for_regions(span))
+        self.reconfigurations += 1
+        self.region_programmings += 1
+        self.regions_programmed += len(span)
+        elapsed = self.sim.now - started
+        self.reconfig_ns_total += elapsed
+        self.stats.counter("reconfigurations").increment()
+        self.stats.histogram("reconfig_ns").record(elapsed)
+        return elapsed
+
+    def serve_regional(self, request: Request):
+        """Serve on the design's span; place/program it first if absent.
+
+        The span is pinned for the whole service (one span = one
+        accelerator instance = one request at a time) and pinned *before*
+        programming starts, so a concurrent worker placing another design
+        can never evict a span mid-transfer.  Region grids run each design
+        at its own clock (per-region clocking), so service time is a plain
+        delay at :meth:`clock_mhz_for` — no shared-generator retune.
+        """
+        accelerator = self.accelerators[request.accelerator]
+        name = accelerator.name
+        span = self.allocator.lookup(name)
+        if span is None:
+            placement = self.allocator.place(name, self.plan.tiles[name])
+            self.allocator.pin(name)
+            self.frag_samples.append(self.allocator.fragmentation())
+            try:
+                yield from self.program_span(name, placement.regions)
+            except DuetError:
+                # The integrity check tripped (SEU in the transferred
+                # span): the span holds no valid design — free it before
+                # the scheduler's scrub/retry or shed path runs.
+                self.allocator.unpin(name)
+                self.allocator.evict(name)
+                raise
+        else:
+            self.allocator.pin(name)
+            self.allocator.touch(name)
+        try:
+            request.start_ns = self.sim.now
+            cycles = accelerator.service_cycles(request.size)
+            yield Delay(cycles * 1000.0 / self.clock_mhz_for(accelerator))
+            request.finish_ns = self.sim.now
+            self.service_ns_total += request.finish_ns - request.start_ns
+            self.stats.counter("served").increment()
+        finally:
+            self.allocator.unpin(name)
+        return request
+
 
 # --------------------------------------------------------------------------- #
 # The scheduler
@@ -282,6 +384,12 @@ class ServeConfig:
     #: Which catalog entries this deployment can serve.
     accelerators: Tuple[str, ...] = ()
     control_hub: ControlHubConfig = field(default_factory=ControlHubConfig)
+    #: Region grid per fabric; 1 = the whole-fabric path (bit-identical to
+    #: a build without region support), > 1 = region-granular co-location.
+    regions: int = 1
+    #: Under/over-provision the shared region grid (< 1 forces eviction and
+    #: fragmentation pressure; only meaningful with ``regions > 1``).
+    region_fabric_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_fabrics < 1:
@@ -289,6 +397,11 @@ class ServeConfig:
         if self.queue_capacity is not None and self.queue_capacity < 1:
             raise ValueError(
                 f"queue_capacity must be >= 1 or None, got {self.queue_capacity}")
+        if self.regions < 1:
+            raise ValueError(f"regions must be >= 1, got {self.regions}")
+        if self.region_fabric_scale <= 0:
+            raise ValueError(
+                f"region_fabric_scale must be positive, got {self.region_fabric_scale}")
         make_policy(self.policy, patience_ns=self.patience_ns)  # fail fast
 
 
@@ -319,11 +432,17 @@ class FabricScheduler:
         #: entry to restore the pristine catalog bitstream.  Empty (and
         #: never touched) on fault-free runs.
         self.images: Dict[str, Bitstream] = {}
+        #: The shared region grid (None on the whole-fabric path).
+        self.region_plan: Optional[RegionPlan] = (
+            RegionPlan.build(self.accelerators, config.regions,
+                             fabric_scale=config.region_fabric_scale)
+            if config.regions > 1 else None)
         self.fabrics = [
             FabricContext(
                 sim, self.sys_domain, TileRouter(self.network, node), mmio_map,
                 self.accelerators, index=node, fpga_mhz=config.fpga_mhz,
                 hub_config=config.control_hub, images=self.images,
+                plan=self.region_plan,
             )
             for node in range(config.num_fabrics)
         ]
@@ -344,10 +463,20 @@ class FabricScheduler:
         }
         #: Accelerators whose image is corrupt with recovery disabled.
         self.poisoned: Set[str] = set()
-        self.workers = [
-            sim.process(self._worker(fabric), name=f"serve.worker{fabric.index}")
-            for fabric in self.fabrics
-        ]
+        if self.region_plan is not None:
+            # K region workers per fabric: different resident designs
+            # serve concurrently, each on its own span.
+            self.workers = [
+                sim.process(self._region_worker(fabric),
+                            name=f"serve.worker{fabric.index}.{slot}")
+                for fabric in self.fabrics
+                for slot in range(config.regions)
+            ]
+        else:
+            self.workers = [
+                sim.process(self._worker(fabric), name=f"serve.worker{fabric.index}")
+                for fabric in self.fabrics
+            ]
 
     # ------------------------------------------------------------------ #
     # Admission (called by traffic sources)
@@ -411,8 +540,14 @@ class FabricScheduler:
         """SEU: flip bits in the stored image of ``accelerator``.
 
         Latent until the next reprogram of that accelerator trips the
-        programming engine's integrity check (see ControlHub.program)."""
-        pristine = self.accelerators[accelerator].bitstream
+        programming engine's integrity check (see ControlHub.program).  In
+        region mode the upset lands in the design's *regioned* image, so it
+        only trips when the flipped span is actually transferred — an SEU
+        in a region that is never reprogrammed stays latent forever."""
+        if self.region_plan is not None:
+            pristine = self.region_plan.images[accelerator]
+        else:
+            pristine = self.accelerators[accelerator].bitstream
         base = self.images.get(accelerator, pristine)
         self.images[accelerator] = base.corrupted(offset=offset, flip_mask=flip_mask)
         self.monitor.on_fault(self.sim.now)
@@ -548,6 +683,66 @@ class FabricScheduler:
             self._drained.succeed()
         return served
 
+    def _region_worker(self, fabric: FabricContext):
+        """One of K workers sharing a region-gridded fabric.
+
+        Differs from :meth:`_worker` in exactly two ways: the policy picks
+        only among *startable* requests (an idle resident span, or room to
+        place one — a request for a busy span waits), and every completion
+        re-notifies, because startability changes when pins release, not
+        just when the queue grows.
+        """
+        served = 0
+        while True:
+            if fabric.failed:
+                yield fabric.repair_event()
+                continue
+            if not self.pending:
+                if self.closed:
+                    break
+                yield self._work_event
+                continue
+            startable = [index for index, request in enumerate(self.pending)
+                         if fabric.can_start(request)]
+            if not startable:
+                # Every blocked request targets a pinned span, so an
+                # in-flight service exists and its completion will notify.
+                yield self._work_event
+                continue
+            subset = [self.pending[index] for index in startable]
+            pick = self.policy.select(subset, fabric)
+            request = self.pending.pop(startable[pick])
+            self.monitor.on_dequeue(len(self.pending))
+            self._in_flight += 1
+            fabric.busy = True
+            fabric.active_requests.append(request)
+            program_fault = False
+            try:
+                # No yield before serve_regional pins its span, so the
+                # startability check above cannot be stale.
+                yield from fabric.serve_regional(request)
+            except DuetError:
+                program_fault = True
+            finally:
+                fabric.active_requests.remove(request)
+                fabric.busy = bool(fabric.active_requests)
+                self._in_flight -= 1
+                self._notify()
+            if program_fault:
+                yield from self._handle_program_fault(fabric, request)
+                continue
+            if fabric.failed and fabric.fail_time_ns < self.sim.now:
+                self._handle_lost(request)
+                continue
+            self.monitor.on_complete(request)
+            if request.completion is not None:
+                request.completion.succeed(request)
+            served += 1
+        if (self.closed and not self.pending and self._in_flight == 0
+                and not self._drained.triggered):
+            self._drained.succeed()
+        return served
+
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #
@@ -557,6 +752,19 @@ class FabricScheduler:
             "reconfigurations": sum(f.reconfigurations for f in self.fabrics),
             "reconfig_us_total": sum(f.reconfig_ns_total for f in self.fabrics) / 1000.0,
             "service_us_total": sum(f.service_ns_total for f in self.fabrics) / 1000.0,
+        }
+
+    def region_totals(self) -> Dict[str, float]:
+        """Region-mode accounting; only merged into rows when regions > 1
+        (the default-off contract: regions=1 rows keep their exact shape)."""
+        frag = [sample for f in self.fabrics for sample in f.frag_samples]
+        return {
+            "regions": self.config.regions,
+            "region_capacity_tiles": self.region_plan.region_capacity,
+            "region_programmings": sum(f.region_programmings for f in self.fabrics),
+            "regions_programmed": sum(f.regions_programmed for f in self.fabrics),
+            "region_evictions": sum(f.allocator.evictions for f in self.fabrics),
+            "fragmentation_mean": sum(frag) / len(frag) if frag else 0.0,
         }
 
     def chaos_totals(self) -> Dict[str, int]:
