@@ -10,7 +10,11 @@ Subcommands:
   result into a wide table (``--pivot index columns values``);
 * ``perf``   — run the kernel/NoC/end-to-end performance suite, write
   ``BENCH_kernel.json`` and optionally gate against a recorded baseline
-  (``--baseline BENCH_kernel.json``); see ``docs/performance.md``.
+  (``--baseline BENCH_kernel.json``); see ``docs/performance.md``;
+* ``trace``  — re-run an experiment's canonical point with the
+  :mod:`repro.obs` tracer attached and write a deterministic Chrome
+  trace-event JSON (load it at https://ui.perfetto.dev); see
+  ``docs/observability.md``.
 
 Parameters are passed as repeated ``-p name=value`` flags; comma-separated
 values sweep an axis (``-p fpga_mhz=100,200,500``).  ``--cache DIR`` enables
@@ -189,6 +193,24 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    # Lazy import, same rationale as cmd_perf: `repro list` stays light.
+    from repro.obs.experiments import DEFAULT_SEED, trace_experiment
+
+    overrides = parse_params(args.param)
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    tracer = trace_experiment(args.experiment, seed=seed, overrides=overrides)
+    payload = tracer.to_json()
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload)
+        print(f"wrote {tracer.event_count} events to {args.out} "
+              f"(load at https://ui.perfetto.dev)", file=sys.stderr)
+    else:
+        print(payload, end="")
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     results = _run(args)
     if args.pivot:
@@ -270,11 +292,28 @@ def build_parser() -> argparse.ArgumentParser:
                              "noc_messages_per_sec, "
                              "noc_messages_per_sec_hooks_on, "
                              "serve_requests_per_sec, "
+                             "serve_requests_per_sec_tracing_on, "
+                             "reconfig_requests_per_sec, "
                              "fleet_requests_per_sec and "
                              "chaos_requests_per_sec)")
     p_perf.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
     p_perf.set_defaults(func=cmd_perf)
+
+    p_trace = subparsers.add_parser(
+        "trace", help="record a Chrome trace of one experiment's run")
+    p_trace.add_argument("experiment",
+                        help="traceable experiment name (serve_policy, "
+                             "reconfig, chaos, fleet_scaling, "
+                             "latency_decomposition, ...)")
+    p_trace.add_argument("-p", "--param", action="append", metavar="NAME=VALUE",
+                        help="override a driver parameter "
+                             "(policy, duration_us, regions, fault_rate, ...)")
+    p_trace.add_argument("--seed", type=int, default=None,
+                        help="override the trace run's seed")
+    p_trace.add_argument("--out", metavar="FILE", default=None,
+                        help="write the trace JSON to FILE (default: stdout)")
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 

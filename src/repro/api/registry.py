@@ -525,3 +525,28 @@ register_experiment(ExperimentSpec(
     summarize=chaos_experiments.chaos_summary,
     tags=("chaos", "fleet", "reliability", "sweep"),
 ))
+
+# --------------------------------------------------------------------------- #
+# Observability experiment (cells live in repro.obs.experiments, same rule)
+# --------------------------------------------------------------------------- #
+from repro.obs import experiments as obs_experiments  # noqa: E402
+
+register_experiment(ExperimentSpec(
+    name="latency_decomposition",
+    cell=obs_experiments.latency_decomposition_cell,
+    title="Observability — Latency Decomposition by Stage (where the ns go)",
+    description="Traced serving runs folded into per-tenant stage shares "
+                "(queue/program/retune/service/blackout, summing to 1.0) "
+                "plus the full latency tail (p50..p99.9/max, jitter, CDF "
+                "mass within 2x the median), swept over policy x region "
+                "count x background fault rate (see docs/observability.md).",
+    grid={"policy": ("fcfs", "affinity"),
+          "regions": (1, 4),
+          "fault_rate": (0.0, 2.0)},
+    fixed={"tenant_mix": obs_experiments.DECOMPOSE_MIX,
+           "arrival_rate_krps": obs_experiments.DECOMPOSE_RATE_KRPS,
+           "duration_us": obs_experiments.DECOMPOSE_DURATION_US,
+           "seed": obs_experiments.DEFAULT_SEED},
+    summarize=obs_experiments.latency_decomposition_summary,
+    tags=("obs", "serve", "reconfig", "chaos", "sweep", "tracing"),
+))

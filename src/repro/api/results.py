@@ -145,6 +145,21 @@ class ResultSet:
             return None
         return Histogram(column, samples=values).percentile(q)
 
+    def cdf(self, column: str) -> List[Tuple[float, float]]:
+        """Empirical CDF of ``column``: sorted ``(value, cumulative_fraction)``
+        pairs ending at fraction 1.0.
+
+        Same ragged-data tolerance as :meth:`percentile` — rows missing the
+        column or holding non-numeric values are skipped; an empty or fully
+        ragged column yields ``[]`` (distinguishable from a single-point
+        distribution).  Duplicate values collapse into one point carrying
+        the highest fraction, so the pairs are strictly increasing in value
+        and plot directly as a step function.
+        """
+        from repro.obs.decompose import cdf_points
+
+        return cdf_points([row.get(column) for row in self.rows])
+
     def pivot(self, index: str, columns: str, values: str) -> Tuple[List[str], List[List[Any]]]:
         """A (headers, rows) wide table: one row per ``index`` value, one
         column per distinct ``columns`` value, cells from ``values``."""

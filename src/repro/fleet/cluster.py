@@ -36,6 +36,7 @@ from repro.chaos import ChaosConfig
 from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
 from repro.fleet.node import NodeSpec, TenantShare, simulate_node
 from repro.fleet.router import Router, make_placement
+from repro.obs.metrics import MetricsSnapshot
 from repro.serve.slo import REPORT_PERCENTILES
 from repro.serve.traffic import TenantSpec
 from repro.sim.stats import Histogram
@@ -127,6 +128,9 @@ class FleetOutcome:
     #: Chaos control-plane summary (``None`` on a chaos-free run):
     #: promotions, dead node ids, and per-epoch cluster goodput.
     chaos: Optional[Dict[str, Any]] = None
+    #: Per-node :class:`~repro.obs.metrics.MetricsSnapshot`\\ s folded in
+    #: sorted ``(epoch, node_id)`` order — bit-identical serial vs process.
+    metrics: Optional[MetricsSnapshot] = None
 
 
 def run_fleet(
@@ -136,8 +140,18 @@ def run_fleet(
     rate_profile: Optional[Sequence[float]] = None,
     seed: int = 2023,
     extra_columns: Optional[Dict[str, Any]] = None,
+    tracer: Optional[Any] = None,
 ) -> FleetOutcome:
-    """Run the fleet to completion and merge per-node results into rows."""
+    """Run the fleet to completion and merge per-node results into rows.
+
+    When a :class:`~repro.obs.trace.Tracer` is supplied, the parent-side
+    control plane records per-(node, epoch) spans and migration/failover
+    instants.  Node-internal request lifecycles cannot cross the process
+    pool, so fleet traces are epoch-granular by design; attach the tracer
+    to :func:`repro.serve.experiments.run_serve` for request granularity.
+    Tracing never perturbs the simulation — rows are bit-identical with
+    and without a tracer attached.
+    """
     if not tenants:
         raise ValueError("need >= 1 tenant")
     if total_rate_rps <= 0:
@@ -155,6 +169,9 @@ def run_fleet(
     router = Router(config.placement, migrate_watermark=config.migrate_watermark)
     autoscaler = Autoscaler(config.autoscaler, template)
     epoch_ns = config.epoch_us * 1000.0
+    #: Epoch length on the trace timeline (integer ps), so parent-side
+    #: events line up with node-internal sim-ps timestamps.
+    epoch_ps = int(round(config.epoch_us * 1e6))
     open_weight = sum(t.weight for t in tenants if t.pattern != "closed")
 
     pool = None
@@ -189,6 +206,13 @@ def run_fleet(
                 )
                 for tenant in tenants
             )
+            if tracer is not None and migrated:
+                # Migration stalls are paid at the start of this epoch on
+                # the target node — stamp the instants there.
+                for name in sorted(migrated):
+                    tracer.instant("migrate", "router", epoch * epoch_ps,
+                                   cat="fleet", pid="fleet.ctrl",
+                                   args={"t": name, "epoch": epoch})
             if not placed:
                 router.place(shares, nodes)
                 placed = True
@@ -234,6 +258,14 @@ def run_fleet(
             else:
                 epoch_reports = [_node_cell(call) for call in calls]
             reports.extend(epoch_reports)
+            if tracer is not None:
+                for report in epoch_reports:
+                    tracer.complete(
+                        f"epoch{epoch}", "node", epoch * epoch_ps,
+                        int(round(report["elapsed_ns"] * 1000.0)),
+                        cat="fleet", pid=f"node{report['node_id']}",
+                        args={"epoch": epoch,
+                              "spare": bool(report.get("spare"))})
 
             if epoch == config.epochs - 1:
                 break
@@ -246,6 +278,16 @@ def run_fleet(
                     config, epoch_reports, shares, nodes, spare_pool, router)
                 promotions += epoch_promotions
                 dead_nodes.extend(epoch_dead)
+                if tracer is not None:
+                    boundary_ps = (epoch + 1) * epoch_ps
+                    for node_id in epoch_dead:
+                        tracer.instant("failover", "chaos", boundary_ps,
+                                       cat="fleet", pid="fleet.ctrl",
+                                       args={"node": node_id})
+                    for index in range(epoch_promotions):
+                        tracer.instant("promote", "chaos", boundary_ps,
+                                       cat="fleet", pid="fleet.ctrl",
+                                       args={"n": index})
                 if handled:
                     # A failover re-placed the survivors this boundary;
                     # don't let the autoscaler fight it in the same breath.
@@ -280,9 +322,14 @@ def run_fleet(
             row["dead_nodes"] = len(dead_nodes)
     for row in rows:
         row["elapsed_us"] = elapsed_ns / 1000.0
+    snapshots = [MetricsSnapshot.from_dict(report["metrics"])
+                 for report in sorted(reports,
+                                      key=lambda r: (r["epoch"], r["node_id"]))
+                 if report.get("metrics") is not None]
+    metrics = MetricsSnapshot.merged(snapshots) if snapshots else None
     return FleetOutcome(rows=rows, reports=reports, router=router,
                         autoscaler=autoscaler, elapsed_ns=elapsed_ns,
-                        chaos=chaos_summary)
+                        chaos=chaos_summary, metrics=metrics)
 
 
 def epoch_goodput(reports: List[Dict[str, Any]]) -> List[int]:
@@ -474,6 +521,7 @@ def _row(name: str, bucket: Dict[str, Any], elapsed_ns: float,
     })
     for label, fraction in REPORT_PERCENTILES:
         row[f"{label}_latency_us"] = histogram.percentile(fraction) / 1000.0
+    row["max_latency_us"] = histogram.maximum / 1000.0
     if chaos:
         row["fault_shed"] = bucket["fault_shed"]
         row["replayed"] = bucket["replayed"]

@@ -308,6 +308,19 @@ def simulate_node(
 
     totals = scheduler.fabric_totals()
     busy_ns = (totals["service_us_total"] + totals["reconfig_us_total"]) * 1000.0
+    # Unified metrics (repro.obs): the node's registries — scheduler fault
+    # counters + SLO StatSet — as one snapshot, shipped in dict form (the
+    # report is plain JSON data by contract).  Gauges carry the steering
+    # signals so a fleet-level snapshot merge can reason about peaks
+    # without re-reading every report.
+    from repro.obs.metrics import MetricsSnapshot
+
+    scheduler.metrics.gauge("queue_depth_mean").set(
+        monitor.queue_depth.time_weighted_mean())
+    scheduler.metrics.gauge("busy_fraction").set(
+        busy_ns / (node.fabrics * elapsed_ns) if elapsed_ns else 0.0)
+    metrics = MetricsSnapshot.merged(
+        (scheduler.metrics.snapshot(), monitor.metrics.snapshot())).as_dict()
     energy_pj = sum(model.last_window_pj or 0.0 for model in energy_models)
     breakdown: Dict[str, float] = {}
     for model in energy_models:
@@ -332,6 +345,7 @@ def simulate_node(
         "service_us_total": totals["service_us_total"],
         "migrations": migrations,
         "migration_stall_ns": stall_ns_total,
+        "metrics": metrics,
         "energy_pj": energy_pj,
         "energy_breakdown": breakdown,
         # -- chaos (empty/zeroed unless this epoch engaged faults) -------- #

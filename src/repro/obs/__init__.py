@@ -1,0 +1,42 @@
+"""Observability: request-lifecycle tracing, unified metrics, decomposition.
+
+The cross-cutting layer the serving stack reports through:
+
+* :mod:`repro.obs.trace` — a slotted, allocation-light :class:`Tracer`
+  recording spans/instants on the integer-ps sim timeline, exportable as
+  deterministic Chrome trace-event JSON (Perfetto-loadable);
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry`, counters/gauges/
+  histograms over :mod:`repro.sim.stats` with a picklable
+  :class:`MetricsSnapshot` that merges deterministically across the
+  fleet process pool;
+* :mod:`repro.obs.decompose` — per-request stage attribution
+  (queue/program/retune/service/blackout) and the empirical-CDF helper
+  behind ``ResultSet.cdf``;
+* :mod:`repro.obs.experiments` — the ``latency_decomposition`` cell and
+  the ``python -m repro trace`` drivers.
+
+Every hook in the stack is behind ``if tracer is not None`` — with no
+tracer attached, runs are bit-identical to a build without this package
+(pinned in ``tests/test_obs.py``).  See ``docs/observability.md``.
+"""
+
+from repro.obs.decompose import (ALL_TENANTS, STAGES, cdf_points,
+                                 decompose_rows, request_stages)
+from repro.obs.metrics import (CounterGroup, Gauge, MetricsRegistry,
+                               MetricsSnapshot)
+from repro.obs.trace import Instant, Span, Tracer
+
+__all__ = [
+    "ALL_TENANTS",
+    "STAGES",
+    "CounterGroup",
+    "Gauge",
+    "Instant",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Span",
+    "Tracer",
+    "cdf_points",
+    "decompose_rows",
+    "request_stages",
+]

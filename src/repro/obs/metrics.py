@@ -1,0 +1,190 @@
+"""A unified metrics registry over :mod:`repro.sim.stats`.
+
+Before this module, each layer grew its own counter plumbing: the
+scheduler kept a raw ``fault_stats`` dict, the SLO monitor its own
+``StatSet``, the fleet merged ad-hoc report fields.  A
+:class:`MetricsRegistry` wraps one :class:`~repro.sim.stats.StatSet`
+(counters / histograms / time series) plus plain :class:`Gauge` values,
+and adds the two things the fleet layer needs:
+
+* :meth:`MetricsRegistry.snapshot` — a :class:`MetricsSnapshot` of plain
+  dicts and lists, picklable across the fleet process pool exactly like
+  node report dicts;
+* :meth:`MetricsSnapshot.merged` — a deterministic fold: counters add,
+  histogram samples and series points concatenate in merge order,
+  gauges keep the maximum.  Folding snapshots in the fleet's sorted
+  ``(epoch, node_id)`` report order therefore gives the same bytes
+  serial or process-pooled.
+
+:class:`CounterGroup` is a dict-shaped view over a fixed set of registry
+counters — it keeps call sites like ``fault_stats["replayed"] += 1`` and
+``dict(fault_stats)`` working unchanged while the storage moves into the
+registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.sim.stats import StatSet
+
+
+class Gauge:
+    """A last-written scalar (queue depth, busy fraction, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0.0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class MetricsSnapshot:
+    """A picklable, mergeable point-in-time copy of a registry.
+
+    Only plain containers — safe to send through the fleet process pool
+    inside a node report dict and to serialize as JSON.
+    """
+
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> None:
+        """Fold ``other`` into this snapshot (see module docstring for the
+        per-kind semantics).  Merge order is the caller's contract: fold in
+        sorted ``(epoch, node_id)`` order for serial ≡ process identity."""
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            current = self.gauges.get(name)
+            self.gauges[name] = value if current is None else max(current, value)
+        for name, samples in other.histograms.items():
+            self.histograms.setdefault(name, []).extend(samples)
+        for name, points in other.series.items():
+            self.series.setdefault(name, []).extend(points)
+
+    @classmethod
+    def merged(cls, snapshots: Iterable["MetricsSnapshot"]) -> "MetricsSnapshot":
+        result = cls()
+        for snapshot in snapshots:
+            result.merge(snapshot)
+        return result
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-shaped plain dict (sorted keys for stable serialization)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: list(samples) for name, samples
+                           in sorted(self.histograms.items())},
+            "series": {name: [list(point) for point in points]
+                       for name, points in sorted(self.series.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
+        """Inverse of :meth:`as_dict` — node reports carry snapshots in
+        dict form (reports are plain JSON data by contract) and the fleet
+        merge reconstructs them here."""
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={name: list(samples) for name, samples
+                        in data.get("histograms", {}).items()},
+            series={name: [tuple(point) for point in points]
+                    for name, points in data.get("series", {}).items()},
+        )
+
+
+class CounterGroup:
+    """Dict-shaped view over a fixed key set of registry counters.
+
+    Supports exactly the mapping surface the existing ``fault_stats``
+    call sites use — ``group[key]``, ``group[key] += n``, iteration,
+    ``dict(group)`` — and nothing else; unknown keys raise ``KeyError``
+    instead of growing the set silently.
+    """
+
+    __slots__ = ("_registry", "_keys")
+
+    def __init__(self, registry: "MetricsRegistry", keys: Iterable[str]) -> None:
+        self._registry = registry
+        self._keys = tuple(keys)
+        for key in self._keys:
+            registry.counter(key)
+
+    def _check(self, key: str) -> str:
+        if key not in self._keys:
+            raise KeyError(key)
+        return key
+
+    def __getitem__(self, key: str) -> int:
+        return self._registry.counter(self._check(key)).value
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self._registry.counter(self._check(key)).value = value
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._keys
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self._keys
+
+    def items(self) -> List[Tuple[str, int]]:
+        return [(key, self[key]) for key in self._keys]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CounterGroup({dict(self.items())!r})"
+
+
+class MetricsRegistry:
+    """Counters/gauges/histograms/series with a picklable snapshot."""
+
+    def __init__(self, name: str = "metrics",
+                 stats: Optional[StatSet] = None) -> None:
+        self.name = name
+        #: The backing :class:`StatSet` — components that already speak
+        #: StatSet (the SLO monitor) plug theirs in and gain snapshotting.
+        self.stats = stats if stats is not None else StatSet(name)
+        self._gauges: Dict[str, Gauge] = {}
+
+    # Delegation: the registry *is* the StatSet plus gauges.
+    def counter(self, name: str):
+        return self.stats.counter(name)
+
+    def histogram(self, name: str):
+        return self.stats.histogram(name)
+
+    def series(self, name: str):
+        return self.stats.series(name)
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def counter_group(self, keys: Iterable[str]) -> CounterGroup:
+        return CounterGroup(self, keys)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters=dict(self.stats.counters()),
+            gauges={name: gauge.value for name, gauge in self._gauges.items()},
+            histograms={name: list(histogram.samples) for name, histogram
+                        in self.stats.histograms().items()},
+            series={name: list(zip(series.times, series.values))
+                    for name, series in self.stats.serieses().items()},
+        )

@@ -1,0 +1,210 @@
+"""Request-lifecycle tracing on the simulated timeline.
+
+A :class:`Tracer` records *spans* (an interval with a start and a
+duration) and *instants* (a point event) stamped with the kernel's
+integer-picosecond clock (``Simulator.now_ps``).  It is built to sit on
+the serving hot path behind ``if tracer is not None`` checks, so the
+recording side is deliberately spartan: slotted, no per-event object
+graphs, just tuples appended to flat lists.
+
+Two recording styles exist:
+
+* :meth:`Tracer.complete` — the hot path.  The caller already knows both
+  endpoints (it bracketed a ``yield from``), so one call records the
+  whole span.
+* :meth:`Tracer.begin` / :meth:`Tracer.end` — a per-track LIFO stack for
+  callers that cannot carry the start timestamp across the code that
+  runs in between.  ``end`` closes the innermost open span on that
+  track, which is what makes nesting a structural guarantee rather than
+  a convention (see ``tests/test_obs.py``).
+
+Export is :meth:`Tracer.chrome_trace` / :meth:`Tracer.to_json`: the
+Chrome trace-event format (``ph: "X"`` complete events, ``ph: "i"``
+instants, ``ph: "M"`` process/thread-name metadata), loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  Timestamps
+are emitted as the raw integer simulated picoseconds — viewers label the
+axis "us", so read 1 displayed microsecond as 1 simulated picosecond
+(the trace carries ``otherData.clock: "sim-ps"`` as a reminder).  The
+JSON is fully deterministic: integer timestamps, a global sequence
+number breaking sort ties, track ids assigned by sorted label (never
+``hash()``/``id()``), and ``sort_keys=True`` serialization — two runs at
+the same seed produce byte-identical files.
+
+Track convention across the repo's hooks (see ``docs/observability.md``):
+``pid`` is the fleet node (0 for single-node serve runs), ``tid`` is the
+fabric (``fabric0``), the design track in region mode
+(``fabric0/<design>``), the control hub (``fabric0.ctrl``), the
+admission queue (``queue``) or the chaos injector (``chaos``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+
+class Span(NamedTuple):
+    """One closed interval on a track (all times in integer sim-ps)."""
+
+    pid: int
+    tid: str
+    name: str
+    cat: str
+    start_ps: int
+    dur_ps: int
+    args: Optional[Dict[str, Any]]
+    seq: int
+
+
+class Instant(NamedTuple):
+    """One point event on a track."""
+
+    pid: int
+    tid: str
+    name: str
+    cat: str
+    ts_ps: int
+    args: Optional[Dict[str, Any]]
+    seq: int
+
+
+class Tracer:
+    """Allocation-light span/instant recorder on the integer-ps timeline."""
+
+    __slots__ = ("default_pid", "_spans", "_instants", "_stacks", "_seq")
+
+    def __init__(self, default_pid: int = 0) -> None:
+        self.default_pid = default_pid
+        self._spans: List[Span] = []
+        self._instants: List[Instant] = []
+        #: (pid, tid) -> stack of open (name, cat, start_ps, args).
+        self._stacks: Dict[Tuple[int, str], List[Tuple[str, str, int, Optional[dict]]]] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def complete(self, name: str, tid: str, start_ps: int, dur_ps: int,
+                 cat: str = "", pid: Optional[int] = None,
+                 args: Optional[Dict[str, Any]] = None) -> None:
+        """Record a whole span at once (the hot-path entry point)."""
+        if dur_ps < 0:
+            raise ValueError(f"span {name!r} has negative duration {dur_ps}")
+        self._spans.append(Span(self.default_pid if pid is None else pid,
+                                tid, name, cat, start_ps, dur_ps, args, self._seq))
+        self._seq += 1
+
+    def begin(self, name: str, tid: str, ts_ps: int, cat: str = "",
+              pid: Optional[int] = None,
+              args: Optional[Dict[str, Any]] = None) -> None:
+        """Open a span on ``(pid, tid)``; close it with :meth:`end`."""
+        key = (self.default_pid if pid is None else pid, tid)
+        self._stacks.setdefault(key, []).append((name, cat, ts_ps, args))
+
+    def end(self, tid: str, ts_ps: int, pid: Optional[int] = None,
+            args: Optional[Dict[str, Any]] = None) -> Span:
+        """Close the innermost open span on ``(pid, tid)`` (LIFO)."""
+        key = (self.default_pid if pid is None else pid, tid)
+        stack = self._stacks.get(key)
+        if not stack:
+            raise ValueError(f"end() on track {key} with no open span")
+        name, cat, start_ps, begin_args = stack.pop()
+        if ts_ps < start_ps:
+            stack.append((name, cat, start_ps, begin_args))
+            raise ValueError(
+                f"span {name!r} on track {key} ends at {ts_ps} before its "
+                f"start {start_ps}")
+        merged = begin_args
+        if args:
+            merged = dict(begin_args) if begin_args else {}
+            merged.update(args)
+        span = Span(key[0], tid, name, cat, start_ps, ts_ps - start_ps,
+                    merged, self._seq)
+        self._seq += 1
+        self._spans.append(span)
+        return span
+
+    def instant(self, name: str, tid: str, ts_ps: int, cat: str = "",
+                pid: Optional[int] = None,
+                args: Optional[Dict[str, Any]] = None) -> None:
+        self._instants.append(Instant(self.default_pid if pid is None else pid,
+                                      tid, name, cat, ts_ps, args, self._seq))
+        self._seq += 1
+
+    # ------------------------------------------------------------------ #
+    # Introspection (tests, decompose)
+    # ------------------------------------------------------------------ #
+    def open_depth(self, tid: str, pid: Optional[int] = None) -> int:
+        key = (self.default_pid if pid is None else pid, tid)
+        return len(self._stacks.get(key, ()))
+
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        return tuple(self._spans)
+
+    @property
+    def instants(self) -> Tuple[Instant, ...]:
+        return tuple(self._instants)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._spans) + len(self._instants)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def _track_ids(self) -> Dict[Tuple[int, str], int]:
+        """Integer thread ids per pid, assigned by sorted label.
+
+        Chrome trace tids must be integers; sorting the labels makes the
+        assignment a pure function of the recorded set — no ``hash()``,
+        no insertion-order dependence.
+        """
+        labels = sorted({(s.pid, s.tid) for s in self._spans}
+                        | {(i.pid, i.tid) for i in self._instants})
+        ids: Dict[Tuple[int, str], int] = {}
+        next_id: Dict[int, int] = {}
+        for pid, tid in labels:
+            next_id[pid] = next_id.get(pid, 0) + 1
+            ids[(pid, tid)] = next_id[pid]
+        return ids
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event dict (Perfetto-loadable)."""
+        ids = self._track_ids()
+        events: List[Dict[str, Any]] = []
+        for pid in sorted({pid for pid, _ in ids}):
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": f"node{pid}"}})
+        for (pid, tid), tid_id in sorted(ids.items()):
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid_id, "args": {"name": tid}})
+        body: List[Tuple[int, int, int, int, Dict[str, Any]]] = []
+        for span in self._spans:
+            tid_id = ids[(span.pid, span.tid)]
+            event = {"ph": "X", "name": span.name, "cat": span.cat or "span",
+                     "pid": span.pid, "tid": tid_id,
+                     "ts": span.start_ps, "dur": span.dur_ps}
+            if span.args:
+                event["args"] = span.args
+            body.append((span.start_ps, span.pid, tid_id, span.seq, event))
+        for inst in self._instants:
+            tid_id = ids[(inst.pid, inst.tid)]
+            event = {"ph": "i", "s": "t", "name": inst.name,
+                     "cat": inst.cat or "instant",
+                     "pid": inst.pid, "tid": tid_id, "ts": inst.ts_ps}
+            if inst.args:
+                event["args"] = inst.args
+            body.append((inst.ts_ps, inst.pid, tid_id, inst.seq, event))
+        body.sort(key=lambda item: item[:4])
+        events.extend(event for *_, event in body)
+        return {
+            "displayTimeUnit": "ns",
+            "otherData": {"clock": "sim-ps"},
+            "traceEvents": events,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: byte-identical for identical runs."""
+        return json.dumps(self.chrome_trace(), sort_keys=True,
+                          separators=(",", ":")) + "\n"

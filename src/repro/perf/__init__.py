@@ -102,6 +102,18 @@ SUITE = [
         params={"duration_us": 4_000.0, "arrival_rate_krps": 250.0,
                 "policy": "affinity"},
     ),
+    # The gated tracing-on twin of serve_requests_per_sec: identical
+    # workload with a live repro.obs Tracer attached, so the lifecycle
+    # hooks' hot-path cost is measured (and gated) directly — same
+    # pattern as noc_messages_per_sec_hooks_on (BENCH_obs.json CI
+    # artifact).
+    BenchSpec(
+        name="serve_requests_per_sec_tracing_on",
+        fn=micro.serve_request_throughput,
+        unit="requests/s",
+        params={"duration_us": 4_000.0, "arrival_rate_krps": 250.0,
+                "policy": "affinity", "tracing": True},
+    ),
     # The gated region-granular serving number: the duo workload on one
     # shared 4-region fabric under the affinity policy — allocator, span
     # hot swaps and partial-image programming on the measured path

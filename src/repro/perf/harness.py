@@ -54,13 +54,16 @@ DEFAULT_TOLERANCE = 0.2
 #: headline number, the batched-NoC 8x8 mesh microbenchmark, the same NoC
 #: workload with the energy-accounting hooks live — gating that one is
 #: what keeps the power layer's hot-path cost near zero — the serving
-#: subsystem's end-to-end request rate, the same workload on a 4-region
-#: grid (allocator + partial programming on the hot path), the fleet
-#: layer's cluster-wide request rate, and the same fleet path under
-#: injected faults with recovery on (failover, spare promotion and
-#: replay included).
+#: subsystem's end-to-end request rate, the same serving workload with a
+#: live repro.obs tracer (the lifecycle hooks' hot-path cost, same idea
+#: as the NoC hooks-on gate), the duo workload on a 4-region grid
+#: (allocator + partial programming on the hot path), the fleet layer's
+#: cluster-wide request rate, and the same fleet path under injected
+#: faults with recovery on (failover, spare promotion and replay
+#: included).
 DEFAULT_GATES = ("kernel_events_per_sec", "noc_messages_per_sec",
                  "noc_messages_per_sec_hooks_on", "serve_requests_per_sec",
+                 "serve_requests_per_sec_tracing_on",
                  "reconfig_requests_per_sec", "fleet_requests_per_sec",
                  "chaos_requests_per_sec")
 

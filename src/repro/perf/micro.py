@@ -189,7 +189,8 @@ def noc_hop_throughput(messages: int = 2_000, width: int = 4, height: int = 4) -
 
 def serve_request_throughput(duration_us: float = 4_000.0,
                              arrival_rate_krps: float = 250.0,
-                             policy: str = "affinity") -> float:
+                             policy: str = "affinity",
+                             tracing: bool = False) -> float:
     """Served requests per wall second through the serving subsystem.
 
     Runs the canonical two-tenant reconfiguration-pressure mix (``duo``)
@@ -198,13 +199,24 @@ def serve_request_throughput(duration_us: float = 4_000.0,
     engine on bitstream switches, and the eFPGA clock-domain wait — so this
     number tracks the serving hot path end to end.  The workload is fully
     deterministic, so only the wall clock varies between repeats.
+
+    ``tracing=True`` attaches a live :class:`~repro.obs.Tracer`, turning
+    every request lifecycle into recorded spans/instants — the
+    ``serve_requests_per_sec_tracing_on`` twin that gates the hooks-on
+    overhead the same way ``noc_messages_per_sec_hooks_on`` gates the
+    power probes.
     """
     from repro.serve.experiments import run_serve
 
+    tracer = None
+    if tracing:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     start = time.perf_counter()
     outcome = run_serve(policy, tenant_mix="duo",
                         arrival_rate_krps=arrival_rate_krps,
-                        duration_us=duration_us)
+                        duration_us=duration_us, tracer=tracer)
     elapsed = time.perf_counter() - start
     aggregate = [row for row in outcome["rows"] if row["tenant"] == "__all__"][0]
     completed = aggregate["completed"]

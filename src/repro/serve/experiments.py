@@ -85,6 +85,7 @@ def run_serve(
     chaos: Optional[Any] = None,
     regions: int = 1,
     region_fabric_scale: float = 1.0,
+    tracer: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run one serving deployment to completion; returns rows + aggregates.
 
@@ -106,6 +107,12 @@ def run_serve(
     is bit-identical to a build without region support — the region
     columns below only exist when regions > 1, same contract as the chaos
     columns.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) attaches the observability
+    hooks: per-request lifecycle spans plus chaos events, exportable as a
+    Chrome trace and decomposable with :mod:`repro.obs.decompose`.  The
+    default ``None`` records nothing and is bit-identical to a build
+    without tracing (pinned by ``tests/test_obs.py``).
     """
     if regions > 1 and power:
         raise ValueError(
@@ -125,6 +132,8 @@ def run_serve(
     )
     monitor = SloMonitor(sim)
     scheduler = FabricScheduler(sim, config, monitor=monitor)
+    if tracer is not None:
+        scheduler.attach_tracer(tracer)
 
     energy = None
     if power:
@@ -192,8 +201,12 @@ def run_serve(
         chaos_totals = scheduler.chaos_totals()
         for row in rows:
             row.update(chaos_totals)
+    from repro.obs.metrics import MetricsSnapshot
+
     return {"rows": rows, "scheduler": scheduler, "monitor": monitor,
-            "energy": energy, "elapsed_ns": elapsed_ns,
+            "energy": energy, "elapsed_ns": elapsed_ns, "tracer": tracer,
+            "metrics": MetricsSnapshot.merged(
+                (scheduler.metrics.snapshot(), monitor.metrics.snapshot())),
             "chaos": scheduler.chaos_totals() if chaos is not None else None}
 
 

@@ -46,6 +46,7 @@ from repro.cpu.mmio import MmioMap
 from repro.fpga.bitstream import Bitstream
 from repro.fpga.clocking import ProgrammableClockGenerator
 from repro.noc import NocNetwork, TileRouter, make_topology
+from repro.obs.metrics import MetricsRegistry
 from repro.reconfig.placement import RegionAllocator
 from repro.reconfig.plan import RegionPlan
 from repro.serve.catalog import ServedAccelerator, materialize
@@ -185,6 +186,10 @@ class FabricContext:
         #: Energy hook: when set, served cycles and clock retunes feed the
         #: attached :class:`~repro.power.model.EnergyModel` (see run_serve).
         self.energy = None
+        #: Observability hook (:mod:`repro.obs`): when a Tracer is attached
+        #: (see :meth:`FabricScheduler.attach_tracer`) the serve path records
+        #: ``program``/``service`` spans and ``clock_retune`` instants.
+        self.tracer = None
         #: Corrupt-image overrides shared with the scheduler (see
         #: :attr:`FabricScheduler.images`); empty on every fault-free run.
         self.images: Dict[str, Bitstream] = images if images is not None else {}
@@ -199,6 +204,7 @@ class FabricContext:
         # -- fault state (repro.chaos) ---------------------------------- #
         self.failed = False
         self.fail_time_ns = -1.0
+        self.fail_time_ps = -1
         self.fail_reason: Optional[str] = None
         self.faults = 0
         self.active_request: Optional[Request] = None
@@ -216,6 +222,7 @@ class FabricContext:
     def fail(self, reason: str) -> None:
         self.failed = True
         self.fail_time_ns = self.sim.now
+        self.fail_time_ps = self.sim.now_ps
         self.fail_reason = reason
         self.faults += 1
         self.stats.counter("faults").increment()
@@ -283,6 +290,13 @@ class FabricContext:
             image if image is not None else accelerator.bitstream)
         self.clock_generator.set_max_frequency(accelerator.fmax_mhz)
         self.clock_generator.set_frequency(self.clock_mhz_for(accelerator))
+        if self.tracer is not None:
+            # The generator settles instantaneously in the current clock
+            # model, so the retune is an instant, not a span (decompose
+            # keeps a zero "retune" stage for when that changes).
+            self.tracer.instant(
+                "clock_retune", self.name, self.sim.now_ps, cat="reconfig",
+                args={"mhz": self.clock_mhz_for(accelerator)})
         self.current_design = accelerator.name
         self.reconfigurations += 1
         elapsed = self.sim.now - started
@@ -293,10 +307,19 @@ class FabricContext:
 
     def serve(self, request: Request):
         """Occupy the fabric for the request's service time."""
+        tracer = self.tracer
         accelerator = self.accelerators[request.accelerator]
         if self.current_design != accelerator.name:
+            program_start_ps = self.sim.now_ps if tracer is not None else 0
             yield from self.reconfigure(accelerator)
+            if tracer is not None:
+                tracer.complete(
+                    "program", self.name, program_start_ps,
+                    self.sim.now_ps - program_start_ps, cat="reconfig",
+                    args={"t": request.tenant, "id": request.request_id,
+                          "design": accelerator.name})
         request.start_ns = self.sim.now
+        service_start_ps = self.sim.now_ps if tracer is not None else 0
         cycles = accelerator.service_cycles(request.size)
         if self.energy is not None:
             self.energy.probe.fpga_active_cycles += cycles
@@ -305,6 +328,11 @@ class FabricContext:
         request.finish_ns = self.sim.now
         self.service_ns_total += request.finish_ns - request.start_ns
         self.stats.counter("served").increment()
+        if tracer is not None:
+            tracer.complete(
+                "service", self.name, service_start_ps,
+                self.sim.now_ps - service_start_ps, cat="serve",
+                args={"t": request.tenant, "id": request.request_id})
         return request
 
     # ------------------------------------------------------------------ #
@@ -334,15 +362,25 @@ class FabricContext:
         at its own clock (per-region clocking), so service time is a plain
         delay at :meth:`clock_mhz_for` — no shared-generator retune.
         """
+        tracer = self.tracer
         accelerator = self.accelerators[request.accelerator]
         name = accelerator.name
+        track = f"{self.name}/{name}" if tracer is not None else ""
         span = self.allocator.lookup(name)
         if span is None:
             placement = self.allocator.place(name, self.plan.tiles[name])
             self.allocator.pin(name)
             self.frag_samples.append(self.allocator.fragmentation())
+            program_start_ps = self.sim.now_ps if tracer is not None else 0
             try:
                 yield from self.program_span(name, placement.regions)
+                if tracer is not None:
+                    tracer.complete(
+                        "program", track, program_start_ps,
+                        self.sim.now_ps - program_start_ps, cat="reconfig",
+                        args={"t": request.tenant, "id": request.request_id,
+                              "design": name,
+                              "regions": list(placement.regions)})
             except DuetError:
                 # The integrity check tripped (SEU in the transferred
                 # span): the span holds no valid design — free it before
@@ -355,11 +393,17 @@ class FabricContext:
             self.allocator.touch(name)
         try:
             request.start_ns = self.sim.now
+            service_start_ps = self.sim.now_ps if tracer is not None else 0
             cycles = accelerator.service_cycles(request.size)
             yield Delay(cycles * 1000.0 / self.clock_mhz_for(accelerator))
             request.finish_ns = self.sim.now
             self.service_ns_total += request.finish_ns - request.start_ns
             self.stats.counter("served").increment()
+            if tracer is not None:
+                tracer.complete(
+                    "service", track, service_start_ps,
+                    self.sim.now_ps - service_start_ps, cat="serve",
+                    args={"t": request.tenant, "id": request.request_id})
         finally:
             self.allocator.unpin(name)
         return request
@@ -457,10 +501,23 @@ class FabricScheduler:
         self.recovery = True
         #: Detection/scrub latency paid before an SEU retry (ns).
         self.fault_detect_ns = 2_000.0
-        self.fault_stats: Dict[str, int] = {
-            "faults_injected": 0, "fabric_faults": 0, "requests_lost": 0,
-            "replayed": 0, "fault_shed": 0, "seu_scrubs": 0, "link_faults": 0,
-        }
+        #: Unified metrics (:mod:`repro.obs.metrics`): the scheduler's own
+        #: counters plus the SLO monitor's StatSet behind one registry whose
+        #: snapshot is picklable and merges deterministically in the fleet.
+        self.metrics = MetricsRegistry("serve.metrics")
+        #: Fault/recovery counters — a dict-shaped view over registry
+        #: counters, so ``fault_stats["replayed"] += 1`` call sites (and
+        #: the chaos injector) keep working while the storage is unified.
+        self.fault_stats = self.metrics.counter_group((
+            "faults_injected", "fabric_faults", "requests_lost",
+            "replayed", "fault_shed", "seu_scrubs", "link_faults",
+        ))
+        #: Observability hook: attach with :meth:`attach_tracer`; ``None``
+        #: (the default) keeps every hot path free of tracing work.
+        self.tracer = None
+        #: Ready timestamps (sim-ps) keyed by ``(tenant, request_id)``;
+        #: only populated while a tracer is attached (queue-wait spans).
+        self._trace_ready: Dict[Tuple[str, int], int] = {}
         #: Accelerators whose image is corrupt with recovery disabled.
         self.poisoned: Set[str] = set()
         if self.region_plan is not None:
@@ -479,6 +536,22 @@ class FabricScheduler:
             ]
 
     # ------------------------------------------------------------------ #
+    # Observability (repro.obs; default off)
+    # ------------------------------------------------------------------ #
+    def attach_tracer(self, tracer) -> None:
+        """Wire ``tracer`` into every hook point of this deployment.
+
+        Call before the simulation runs.  With no tracer attached (the
+        default) every hook reduces to one ``is not None`` check, and runs
+        are bit-identical to a build without tracing (pinned in
+        ``tests/test_obs.py``).
+        """
+        self.tracer = tracer
+        for fabric in self.fabrics:
+            fabric.tracer = tracer
+            fabric.control_hub.tracer = tracer
+
+    # ------------------------------------------------------------------ #
     # Admission (called by traffic sources)
     # ------------------------------------------------------------------ #
     def submit(self, request: Request) -> bool:
@@ -488,11 +561,21 @@ class FabricScheduler:
         if self.closed or (capacity is not None and len(self.pending) >= capacity):
             request.shed = True
             self.monitor.on_shed(request)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "shed", "queue", self.sim.now_ps, cat="serve",
+                    args={"t": request.tenant, "id": request.request_id})
             if request.completion is not None:
                 request.completion.succeed(request)
             return False
         self.pending.append(request)
         self.monitor.on_submit(request, len(self.pending))
+        if self.tracer is not None:
+            now_ps = self.sim.now_ps
+            self._trace_ready[(request.tenant, request.request_id)] = now_ps
+            self.tracer.instant(
+                "arrive", "queue", now_ps, cat="serve",
+                args={"t": request.tenant, "id": request.request_id})
         self._notify()
         return True
 
@@ -532,7 +615,14 @@ class FabricScheduler:
         fabric = self.fabrics[index]
         if not fabric.failed:
             return False
+        reason = fabric.fail_reason
         fabric.heal()
+        if self.tracer is not None:
+            # One failover span per outage: from the kill to the heal.
+            self.tracer.complete(
+                "failover", fabric.name, fabric.fail_time_ps,
+                self.sim.now_ps - fabric.fail_time_ps, cat="chaos",
+                args={"reason": reason})
         self._notify()
         return True
 
@@ -588,12 +678,22 @@ class FabricScheduler:
         self.fault_stats["requests_lost"] += 1
         request.start_ns = -1.0
         request.finish_ns = -1.0
+        if self.tracer is not None:
+            self.tracer.instant(
+                "lost", "queue", self.sim.now_ps, cat="chaos",
+                args={"t": request.tenant, "id": request.request_id})
         if self.recovery:
             # Failover: replay through whichever fabric frees up first.
             # Not a new admission — the request was already counted.
             self.fault_stats["replayed"] += 1
             self.pending.append(request)
             self.monitor.on_replay(request, len(self.pending))
+            if self.tracer is not None:
+                now_ps = self.sim.now_ps
+                self._trace_ready[(request.tenant, request.request_id)] = now_ps
+                self.tracer.instant(
+                    "replay", "queue", now_ps, cat="chaos",
+                    args={"t": request.tenant, "id": request.request_id})
             self._notify()
         else:
             self._fault_shed(request)
@@ -602,6 +702,10 @@ class FabricScheduler:
         request.shed = True
         self.fault_stats["fault_shed"] += 1
         self.monitor.on_fault_shed(request)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "fault_shed", "queue", self.sim.now_ps, cat="chaos",
+                args={"t": request.tenant, "id": request.request_id})
         if request.completion is not None:
             request.completion.succeed(request)
 
@@ -616,11 +720,22 @@ class FabricScheduler:
             # retry pays a full reprogram of the pristine image).
             self.fault_stats["seu_scrubs"] += 1
             self.scrub_image(name)
+            scrub_start_ps = self.sim.now_ps if self.tracer is not None else 0
             if self.fault_detect_ns > 0:
                 yield Delay(self.fault_detect_ns)
             self.fault_stats["replayed"] += 1
             self.pending.insert(0, request)
             self.monitor.on_replay(request, len(self.pending))
+            if self.tracer is not None:
+                now_ps = self.sim.now_ps
+                self.tracer.complete(
+                    "seu_scrub", fabric.name, scrub_start_ps,
+                    now_ps - scrub_start_ps, cat="chaos",
+                    args={"design": name})
+                self._trace_ready[(request.tenant, request.request_id)] = now_ps
+                self.tracer.instant(
+                    "replay", "queue", now_ps, cat="chaos",
+                    args={"t": request.tenant, "id": request.request_id})
             self._notify()
         else:
             # No recovery: the accelerator is poisoned — this and every
@@ -637,6 +752,20 @@ class FabricScheduler:
             self._fault_shed(self.pending.pop())
             flushed += 1
         return flushed
+
+    def _trace_dequeue(self, request: Request, track: str) -> None:
+        """Close the request's queue-wait span (tracer attached only).
+
+        Keyed on the *latest* ready instant (admission or replay), so a
+        replayed request's queue span covers only its current wait — the
+        earlier, wasted wait is part of the blackout residual.
+        """
+        now_ps = self.sim.now_ps
+        ready_ps = self._trace_ready.pop(
+            (request.tenant, request.request_id), now_ps)
+        self.tracer.complete(
+            "queue", track, ready_ps, now_ps - ready_ps, cat="serve",
+            args={"t": request.tenant, "id": request.request_id})
 
     # ------------------------------------------------------------------ #
     # Worker processes (one per fabric)
@@ -655,6 +784,8 @@ class FabricScheduler:
             index = self.policy.select(self.pending, fabric)
             request = self.pending.pop(index)
             self.monitor.on_dequeue(len(self.pending))
+            if self.tracer is not None:
+                self._trace_dequeue(request, fabric.name)
             self._in_flight += 1
             fabric.busy = True
             fabric.active_request = request
@@ -675,6 +806,10 @@ class FabricScheduler:
                 self._handle_lost(request)
                 continue
             self.monitor.on_complete(request)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "complete", fabric.name, self.sim.now_ps, cat="serve",
+                    args={"t": request.tenant, "id": request.request_id})
             if request.completion is not None:
                 request.completion.succeed(request)
             served += 1
@@ -713,6 +848,9 @@ class FabricScheduler:
             pick = self.policy.select(subset, fabric)
             request = self.pending.pop(startable[pick])
             self.monitor.on_dequeue(len(self.pending))
+            if self.tracer is not None:
+                self._trace_dequeue(
+                    request, f"{fabric.name}/{request.accelerator}")
             self._in_flight += 1
             fabric.busy = True
             fabric.active_requests.append(request)
@@ -735,6 +873,11 @@ class FabricScheduler:
                 self._handle_lost(request)
                 continue
             self.monitor.on_complete(request)
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "complete", f"{fabric.name}/{request.accelerator}",
+                    self.sim.now_ps, cat="serve",
+                    args={"t": request.tenant, "id": request.request_id})
             if request.completion is not None:
                 request.completion.succeed(request)
             served += 1

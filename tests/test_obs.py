@@ -1,0 +1,446 @@
+"""Tests for ``repro.obs``: tracer nesting/ordering invariants (Hypothesis
+over arbitrary begin/end sequences), the deterministic Chrome-trace export
+and its pinned golden, the hooks-off ≡ hooks-on bit-identity contract, the
+unified metrics registry (serial ≡ process fleet merge), ``ResultSet.cdf``,
+and the ``latency_decomposition`` acceptance pins."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api.registry import get_experiment
+from repro.api.results import ResultSet
+from repro.api.runner import Runner
+from repro.fleet.cluster import FleetConfig, run_fleet
+from repro.fleet.experiments import FLEET_TENANTS
+from repro.obs import (
+    ALL_TENANTS,
+    STAGES,
+    CounterGroup,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Tracer,
+    cdf_points,
+)
+from repro.obs.decompose import fraction_at, request_stages
+from repro.obs.experiments import (
+    latency_decomposition_cell,
+    latency_decomposition_summary,
+    trace_experiment,
+)
+from repro.serve.experiments import run_serve
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The tiny pinned run behind the trace golden.  Regenerate after an
+#: intentional hook change with:
+#:   PYTHONPATH=src python -c "
+#:   from tests.test_obs import tiny_traced_run
+#:   open('tests/data/obs_trace_golden.json', 'w').write(
+#:       tiny_traced_run().to_json())"
+TINY = dict(tenant_mix="duo", arrival_rate_krps=250.0, duration_us=100.0)
+
+
+def tiny_traced_run() -> Tracer:
+    tracer = Tracer()
+    run_serve("affinity", tracer=tracer, **TINY)
+    return tracer
+
+
+# --------------------------------------------------------------------------- #
+# Tracer recording surface
+# --------------------------------------------------------------------------- #
+def test_complete_rejects_negative_duration():
+    tracer = Tracer()
+    with pytest.raises(ValueError, match="negative duration"):
+        tracer.complete("x", "fabric0", 10, -1)
+
+
+def test_begin_end_is_lifo_and_merges_args():
+    tracer = Tracer()
+    tracer.begin("outer", "fabric0", 0, args={"t": "alpha"})
+    tracer.begin("inner", "fabric0", 5)
+    inner = tracer.end("fabric0", 7)
+    outer = tracer.end("fabric0", 12, args={"id": 3})
+    assert (inner.name, inner.start_ps, inner.dur_ps) == ("inner", 5, 2)
+    assert (outer.name, outer.start_ps, outer.dur_ps) == ("outer", 0, 12)
+    assert outer.args == {"t": "alpha", "id": 3}
+    assert tracer.open_depth("fabric0") == 0
+
+
+def test_end_with_no_open_span_raises():
+    tracer = Tracer()
+    with pytest.raises(ValueError, match="no open span"):
+        tracer.end("fabric0", 5)
+
+
+def test_end_before_start_raises_and_keeps_the_span_open():
+    tracer = Tracer()
+    tracer.begin("s", "fabric0", 100)
+    with pytest.raises(ValueError, match="before its start"):
+        tracer.end("fabric0", 50)
+    # The failed end() must not have consumed the open span.
+    assert tracer.open_depth("fabric0") == 1
+    assert tracer.end("fabric0", 150).dur_ps == 50
+
+
+def test_tracks_are_isolated_per_pid():
+    tracer = Tracer()
+    tracer.begin("a", "fabric0", 0, pid=1)
+    tracer.begin("b", "fabric0", 2, pid=2)
+    assert tracer.open_depth("fabric0", pid=1) == 1
+    assert tracer.end("fabric0", 9, pid=2).name == "b"
+    assert tracer.end("fabric0", 10, pid=1).name == "a"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["begin", "end"]),
+                          st.sampled_from(["a", "b"]),
+                          st.integers(min_value=0, max_value=5)),
+                max_size=40))
+def test_begin_end_sequences_keep_nesting_and_ordering_invariants(ops):
+    """Arbitrary begin/end sequences with monotonic timestamps: spans on a
+    track are always properly nested (contained or disjoint, never partially
+    overlapping), sequence numbers follow record order, and the export is
+    sorted by timestamp."""
+    tracer = Tracer()
+    now = 0
+    depth = {"a": 0, "b": 0}
+    for op, tid, advance in ops:
+        now += advance
+        if op == "begin":
+            tracer.begin(f"s{now}", tid, now)
+            depth[tid] += 1
+        elif depth[tid] > 0:
+            tracer.end(tid, now)
+            depth[tid] -= 1
+        else:
+            with pytest.raises(ValueError):
+                tracer.end(tid, now)
+    for tid in ("a", "b"):
+        while depth[tid]:
+            now += 1
+            tracer.end(tid, now)
+            depth[tid] -= 1
+        assert tracer.open_depth(tid) == 0
+    spans = tracer.spans
+    assert [span.seq for span in spans] == sorted(span.seq for span in spans)
+    for tid in ("a", "b"):
+        track = [span for span in spans if span.tid == tid]
+        for index, first in enumerate(track):
+            for second in track[index + 1:]:
+                a0, a1 = first.start_ps, first.start_ps + first.dur_ps
+                b0, b1 = second.start_ps, second.start_ps + second.dur_ps
+                assert (a1 <= b0 or b1 <= a0
+                        or (a0 <= b0 and b1 <= a1)
+                        or (b0 <= a0 and a1 <= b1)), "partial overlap"
+    body = [event for event in tracer.chrome_trace()["traceEvents"]
+            if event["ph"] != "M"]
+    keys = [(event["ts"], event["pid"], event["tid"]) for event in body]
+    assert keys == sorted(keys)
+
+
+def test_track_ids_assigned_by_sorted_label_not_insertion_order():
+    tracer = Tracer()
+    tracer.instant("x", "zeta", 0)
+    tracer.instant("y", "alpha", 1)
+    names = {event["tid"]: event["args"]["name"]
+             for event in tracer.chrome_trace()["traceEvents"]
+             if event["ph"] == "M" and event["name"] == "thread_name"}
+    assert names == {1: "alpha", 2: "zeta"}
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic export + golden
+# --------------------------------------------------------------------------- #
+def test_tiny_serve_trace_matches_golden():
+    """Byte-level pin of the whole pipeline: hook placement, timestamps,
+    track-id assignment and serialization.  If this moved and the change
+    was intentional, regenerate (see the TINY comment above)."""
+    with open(os.path.join(DATA_DIR, "obs_trace_golden.json")) as handle:
+        golden = handle.read()
+    assert tiny_traced_run().to_json() == golden
+
+
+def test_trace_json_is_byte_identical_across_runs():
+    assert tiny_traced_run().to_json() == tiny_traced_run().to_json()
+
+
+def test_trace_json_is_perfetto_shaped():
+    trace = tiny_traced_run().chrome_trace()
+    assert trace["otherData"] == {"clock": "sim-ps"}
+    events = trace["traceEvents"]
+    phases = {event["ph"] for event in events}
+    assert phases == {"M", "X", "i"}
+    for event in events:
+        assert isinstance(event["ts" if event["ph"] != "M" else "tid"], int)
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+
+
+def test_trace_bytes_are_pythonhashseed_independent():
+    """No hash()-ordered structure may leak into the export: three
+    interpreters with different string-hash randomization must emit the
+    same bytes."""
+    script = (
+        "import sys\n"
+        "from repro.obs.experiments import trace_experiment\n"
+        "tracer = trace_experiment('serve_policy',\n"
+        "                          overrides={'duration_us': 200.0})\n"
+        "sys.stdout.write(tracer.to_json())\n"
+    )
+    outputs = []
+    for hashseed in ("0", "1", "31337"):
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+                   PYTHONHASHSEED=hashseed)
+        proc = subprocess.run([sys.executable, "-c", script],
+                              capture_output=True, text=True, env=env,
+                              cwd=REPO_ROOT, timeout=300)
+        assert proc.returncode == 0, proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1] == outputs[2]
+
+
+def test_trace_experiment_rejects_unknown_names():
+    with pytest.raises(KeyError, match="no trace driver"):
+        trace_experiment("fig9")
+
+
+def test_trace_experiment_covers_every_layer():
+    """Each driver actually records events from its subsystem's hooks."""
+    chaos = trace_experiment("chaos", overrides={"duration_us": 400.0,
+                                                 "fault_rate": 4.0})
+    assert any(inst.name.startswith("fault_") for inst in chaos.instants)
+    fleet = trace_experiment("fleet_scaling",
+                             overrides={"nodes": 2, "epochs": 2,
+                                        "epoch_us": 200.0})
+    assert {span.name for span in fleet.spans} == {"epoch0", "epoch1"}
+    regional = trace_experiment("reconfig", overrides={"duration_us": 200.0})
+    assert any("/" in span.tid for span in regional.spans)
+
+
+# --------------------------------------------------------------------------- #
+# Hooks are free when off and invisible when on
+# --------------------------------------------------------------------------- #
+def test_tracing_never_perturbs_results():
+    """The entire hook layer is behind ``if tracer is not None`` *reads* —
+    attaching a tracer must not move a single byte of the result rows, in
+    whole-fabric, region and chaos modes."""
+    from repro.chaos.inject import ChaosConfig
+    from repro.obs.experiments import noise_schedule
+
+    for kwargs in (
+        dict(duration_us=300.0),
+        dict(duration_us=300.0, regions=4),
+        dict(duration_us=300.0,
+             chaos=ChaosConfig(noise_schedule(4.0))),
+    ):
+        plain = run_serve("affinity", **kwargs)
+        traced = run_serve("affinity", tracer=Tracer(), **kwargs)
+        assert plain["rows"] == traced["rows"], kwargs
+
+
+def test_fleet_tracer_records_epochs_without_perturbing_rows():
+    config = FleetConfig(nodes=2, epochs=2, epoch_us=200.0)
+    plain = run_fleet(config, FLEET_TENANTS, total_rate_rps=200_000.0)
+    tracer = Tracer()
+    traced = run_fleet(config, FLEET_TENANTS, total_rate_rps=200_000.0,
+                       tracer=tracer)
+    assert plain.rows == traced.rows
+    assert {span.pid for span in tracer.spans} == {"node0", "node1"}
+    assert traced.metrics is not None
+
+
+# --------------------------------------------------------------------------- #
+# Metrics registry
+# --------------------------------------------------------------------------- #
+def test_counter_group_keeps_the_dict_surface():
+    registry = MetricsRegistry("t")
+    group = registry.counter_group(("faults", "replays"))
+    assert isinstance(group, CounterGroup)
+    group["faults"] += 2
+    group["replays"] = 5
+    assert group["faults"] == 2 and len(group) == 2
+    assert "faults" in group and "nope" not in group
+    assert dict(group) == {"faults": 2, "replays": 5}
+    assert registry.counter("faults").value == 2
+    with pytest.raises(KeyError):
+        group["nope"] += 1
+
+
+def test_snapshot_merge_semantics_and_round_trip():
+    left = MetricsSnapshot(counters={"a": 1, "b": 2}, gauges={"g": 1.0},
+                           histograms={"h": [1.0]}, series={"s": [(0.0, 1.0)]})
+    right = MetricsSnapshot(counters={"b": 3, "c": 4}, gauges={"g": 0.5,
+                                                              "k": 2.0},
+                            histograms={"h": [2.0], "j": [9.0]},
+                            series={"s": [(1.0, 0.0)]})
+    merged = MetricsSnapshot.merged((left, right))
+    assert merged.counters == {"a": 1, "b": 5, "c": 4}
+    assert merged.gauges == {"g": 1.0, "k": 2.0}  # max, not last-write
+    assert merged.histograms == {"h": [1.0, 2.0], "j": [9.0]}
+    assert merged.series == {"s": [(0.0, 1.0), (1.0, 0.0)]}
+    assert MetricsSnapshot.from_dict(merged.as_dict()) == merged
+    # And the dict form survives an actual JSON round trip (node reports).
+    rehydrated = MetricsSnapshot.from_dict(
+        json.loads(json.dumps(merged.as_dict())))
+    assert rehydrated == merged
+
+
+def test_serve_outcome_carries_a_unified_snapshot():
+    outcome = run_serve("affinity", duration_us=300.0)
+    snapshot = outcome["metrics"]
+    aggregate = next(row for row in outcome["rows"]
+                     if row["tenant"] == "__all__")
+    assert snapshot.counters["completed_total"] == aggregate["completed"]
+    assert snapshot.counters["faults_injected"] == 0
+    assert "queue_depth" in snapshot.series
+
+
+def test_fleet_metrics_merge_is_serial_process_bit_identical():
+    kwargs = dict(tenants=FLEET_TENANTS, total_rate_rps=200_000.0, seed=7)
+    serial = run_fleet(FleetConfig(nodes=2, epochs=2, epoch_us=200.0,
+                                   node_executor="serial"), **kwargs)
+    pooled = run_fleet(FleetConfig(nodes=2, epochs=2, epoch_us=200.0,
+                                   node_executor="process", workers=2),
+                       **kwargs)
+    assert serial.rows == pooled.rows
+    assert serial.metrics == pooled.metrics
+    assert serial.metrics.counters["completed_total"] > 0
+
+
+# --------------------------------------------------------------------------- #
+# Deep-tail SLO columns (p99.9 / max)
+# --------------------------------------------------------------------------- #
+def test_slo_rows_carry_the_deep_tail():
+    rows = run_serve("affinity", duration_us=300.0)["rows"]
+    for row in rows:
+        assert row["p99_latency_us"] <= row["p999_latency_us"]
+        assert row["p999_latency_us"] <= row["max_latency_us"]
+    aggregate = next(row for row in rows if row["tenant"] == "__all__")
+    assert aggregate["max_latency_us"] == max(
+        row["max_latency_us"] for row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# cdf_points / ResultSet.cdf
+# --------------------------------------------------------------------------- #
+def test_cdf_points_handles_empty_ragged_and_duplicates():
+    assert cdf_points([]) == []
+    assert cdf_points(["x", None, True]) == []
+    points = cdf_points([3.0, 1.0, "bad", 1.0, None, 2.0])
+    assert points == [(1.0, 0.5), (2.0, 0.75), (3.0, 1.0)]
+    values = [point[0] for point in points]
+    assert values == sorted(set(values))
+    assert points[-1][1] == 1.0
+
+
+def test_fraction_at_reads_the_step_function():
+    points = cdf_points([1.0, 1.0, 2.0, 4.0])
+    assert fraction_at(points, 0.5) == 0.0
+    assert fraction_at(points, 1.0) == 0.5
+    assert fraction_at(points, 3.0) == 0.75
+    assert fraction_at(points, 100.0) == 1.0
+    assert fraction_at([], 1.0) == 0.0
+
+
+def test_resultset_cdf_matches_percentile_filtering():
+    results = ResultSet("t", [{"v": 2.0}, {"v": 1.0}, {"w": 9.0},
+                              {"v": "bad"}, {"v": True}, {"v": 2.0}])
+    assert results.cdf("v") == [(1.0, 1 / 3), (2.0, 1.0)]
+    assert results.cdf("missing") == []
+
+
+# --------------------------------------------------------------------------- #
+# latency_decomposition acceptance pins
+# --------------------------------------------------------------------------- #
+def test_decomposition_shares_sum_to_one_and_match_the_scheduler():
+    """The pinned duo/affinity point: stage shares sum to 1.0 ± 1e-9 for
+    every row, and the trace-derived reconfig-transfer share agrees with
+    the scheduler's own ``reconfig_overhead`` accounting — two independent
+    code paths, one number."""
+    rows = latency_decomposition_cell("affinity")
+    assert [row["tenant"] for row in rows] == [ALL_TENANTS, "alpha", "beta"]
+    for row in rows:
+        share_sum = sum(row[f"{stage}_share"] for stage in STAGES)
+        assert abs(share_sum - 1.0) <= 1e-9
+    aggregate = rows[0]
+    assert aggregate["requests"] > 0
+    trace_share = (aggregate["program_us"]
+                   / (aggregate["program_us"] + aggregate["service_us"]))
+    assert trace_share == pytest.approx(aggregate["reconfig_overhead"],
+                                        rel=1e-6)
+
+
+def test_decomposition_program_share_consistent_with_the_region_pin():
+    """PR 8 pinned regions=4 affinity at ≤ 0.5× whole-fabric reconfig
+    overhead; the trace-derived decomposition must tell the same story."""
+    def transfer_share(rows):
+        aggregate = rows[0]
+        return (aggregate["program_us"]
+                / (aggregate["program_us"] + aggregate["service_us"]))
+
+    whole = latency_decomposition_cell("affinity", regions=1)
+    regional = latency_decomposition_cell("affinity", regions=4)
+    assert transfer_share(whole) > 0
+    assert transfer_share(regional) <= 0.5 * transfer_share(whole)
+
+
+def test_decomposition_under_faults_still_sums_to_one():
+    rows = latency_decomposition_cell("affinity", fault_rate=4.0,
+                                      duration_us=800.0)
+    for row in rows:
+        share_sum = sum(row[f"{stage}_share"] for stage in STAGES)
+        assert abs(share_sum - 1.0) <= 1e-9
+
+
+def test_decomposition_summary_reports_every_point():
+    rows = latency_decomposition_cell("fcfs", duration_us=400.0)
+    summary = latency_decomposition_summary(rows)
+    assert summary["queue_share[fcfs/r1@rate0]"] > 0
+    assert 0.0 <= summary["share_under_2x_p50[fcfs/r1@rate0]"] <= 1.0
+
+
+def test_request_stages_excludes_incomplete_requests():
+    tracer = tiny_traced_run()
+    stages = request_stages(tracer)
+    completed = {(inst.args["t"], inst.args["id"])
+                 for inst in tracer.instants if inst.name == "complete"}
+    assert set(stages) == completed
+    for entry in stages.values():
+        assert entry["latency_ps"] >= 0
+        assert entry["blackout_ps"] >= 0
+
+
+def test_latency_decomposition_registered_serial_matches_process():
+    spec = get_experiment("latency_decomposition")
+    assert spec.num_cells() == 8
+    overrides = dict(policy=("affinity",), regions=(1,), fault_rate=(0.0,),
+                     duration_us=600.0)
+    serial = Runner().run("latency_decomposition", **overrides)
+    parallel = Runner(executor="process", workers=2).run(
+        "latency_decomposition", **overrides)
+    assert serial.rows == parallel.rows
+    assert serial.summary == parallel.summary
+
+
+# --------------------------------------------------------------------------- #
+# Perf wiring
+# --------------------------------------------------------------------------- #
+def test_tracing_bench_is_in_suite_and_gated():
+    from repro.perf import SUITE
+    from repro.perf.harness import DEFAULT_GATES
+    from repro.perf.micro import serve_request_throughput
+
+    names = [spec.name for spec in SUITE]
+    assert "serve_requests_per_sec_tracing_on" in names
+    assert "serve_requests_per_sec_tracing_on" in DEFAULT_GATES
+    assert serve_request_throughput(duration_us=300.0, tracing=True) > 0
