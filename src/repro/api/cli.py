@@ -14,7 +14,13 @@ Subcommands:
 * ``trace``  — re-run an experiment's canonical point with the
   :mod:`repro.obs` tracer attached and write a deterministic Chrome
   trace-event JSON (load it at https://ui.perfetto.dev); see
-  ``docs/observability.md``.
+  ``docs/observability.md``;
+* ``alerts`` — run one telemetry-observed chaos fleet and print the typed
+  alert log plus its detection scores against the injected fault
+  schedule; see ``docs/alerting.md``;
+* ``trend``  — fold committed ``BENCH_*.json`` reports into a single
+  calibration-normalized performance trend table; see
+  ``docs/performance.md``.
 
 Parameters are passed as repeated ``-p name=value`` flags; comma-separated
 values sweep an axis (``-p fpga_mhz=100,200,500``).  ``--cache DIR`` enables
@@ -211,6 +217,56 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_alerts(args: argparse.Namespace) -> int:
+    # Lazy import, same rationale as cmd_perf: `repro list` stays light.
+    from repro.obs.alerting import DEFAULT_SEED, alerts_report
+
+    seed = args.seed if args.seed is not None else DEFAULT_SEED
+    report = alerts_report(fault=args.fault, control=args.control,
+                           fault_rate=args.fault_rate, seed=seed)
+    if args.json or args.out:
+        payload = json.dumps(report, indent=2, sort_keys=True)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(payload)
+            print(f"wrote {len(report['alerts'])} alert events to {args.out}",
+                  file=sys.stderr)
+        else:
+            print(payload)
+        return 0
+    print(format_table(
+        ["t_ps", "Rule", "Family", "Node", "Event", "Severity", "Value"],
+        [[event["t_ps"], event["rule"], event["family"], event["node_id"],
+          event["event"], event["severity"], format(event["value"], ".4g")]
+         for event in report["alerts"]],
+        title=f"Alert log ({args.fault} / {args.control}; "
+              f"{report['windows']} telemetry windows)",
+    ))
+    score = report["score"]
+    print(f"faults: {score['faults']}  detected: {score['detected']}  "
+          f"recall: {score['recall']:.3f}  precision: {score['precision']:.3f}  "
+          f"false alarms: {score['false_alarms']}")
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    # Lazy import: the trend tool only needs the perf report schema.
+    from repro.perf.trend import format_trend, load_reports, trend_report
+
+    reports = load_reports(args.reports)
+    trend = trend_report(reports, baseline_path=args.baseline_report)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(json.dumps(trend, indent=2, sort_keys=True))
+        print(f"wrote trend over {len(trend['reports'])} reports to {args.out}",
+              file=sys.stderr)
+    if args.json and not args.out:
+        print(json.dumps(trend, indent=2, sort_keys=True))
+    elif not args.out or args.verbose:
+        print(format_trend(trend))
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     results = _run(args)
     if args.pivot:
@@ -294,7 +350,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "serve_requests_per_sec, "
                              "serve_requests_per_sec_tracing_on, "
                              "reconfig_requests_per_sec, "
-                             "fleet_requests_per_sec and "
+                             "fleet_requests_per_sec, "
+                             "fleet_requests_per_sec_monitor_on and "
                              "chaos_requests_per_sec)")
     p_perf.add_argument("--json", action="store_true",
                         help="print the full report as JSON")
@@ -314,6 +371,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--out", metavar="FILE", default=None,
                         help="write the trace JSON to FILE (default: stdout)")
     p_trace.set_defaults(func=cmd_trace)
+
+    p_alerts = subparsers.add_parser(
+        "alerts", help="run one telemetry-observed chaos fleet and print the "
+                       "typed alert log plus its ground-truth scores")
+    p_alerts.add_argument("--fault", default="kill",
+                          choices=("none", "kill", "seu", "link"),
+                          help="injected fault family (default: kill)")
+    p_alerts.add_argument("--control", default="alerts",
+                          choices=("omniscient", "alerts"),
+                          help="chaos control mode (default: alerts)")
+    p_alerts.add_argument("--fault-rate", type=float, default=2.0,
+                          help="background rate for seu/link families")
+    p_alerts.add_argument("--seed", type=int, default=None,
+                          help="override the run's seed")
+    p_alerts.add_argument("--json", action="store_true",
+                          help="emit the full report (log + truth + scores) "
+                               "as JSON")
+    p_alerts.add_argument("--out", metavar="FILE", default=None,
+                          help="write the JSON report to FILE")
+    p_alerts.set_defaults(func=cmd_alerts)
+
+    p_trend = subparsers.add_parser(
+        "trend", help="fold committed BENCH_*.json reports into one "
+                      "calibration-normalized trend table")
+    p_trend.add_argument("reports", nargs="+", metavar="BENCH.json",
+                         help="perf reports, oldest first (e.g. "
+                              "BENCH_kernel.json BENCH_obs.json)")
+    p_trend.add_argument("--baseline-report", default=None, metavar="FILE",
+                         help="report whose values anchor every ratio "
+                              "(default: each benchmark's first appearance)")
+    p_trend.add_argument("--json", action="store_true",
+                         help="emit the trend as JSON instead of a table")
+    p_trend.add_argument("--out", metavar="FILE", default=None,
+                         help="write the trend JSON to FILE")
+    p_trend.add_argument("--verbose", action="store_true",
+                         help="also print the table when --out is given")
+    p_trend.set_defaults(func=cmd_trend)
 
     return parser
 

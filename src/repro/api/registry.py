@@ -550,3 +550,28 @@ register_experiment(ExperimentSpec(
     summarize=obs_experiments.latency_decomposition_summary,
     tags=("obs", "serve", "reconfig", "chaos", "sweep", "tracing"),
 ))
+
+# --------------------------------------------------------------------------- #
+# Alerting experiment (cells live in repro.obs.alerting, same import rule)
+# --------------------------------------------------------------------------- #
+from repro.obs import alerting as obs_alerting  # noqa: E402
+
+register_experiment(ExperimentSpec(
+    name="alerting",
+    cell=obs_alerting.alerting_cell,
+    title="Alerting — Detection Quality vs Ground-Truth Fault Schedules",
+    description="Chaos fleet runs observed only through windowed telemetry: "
+                "fault family (none/kill/seu/link) x control mode "
+                "(omniscient vs alert-driven recovery), scoring the alert "
+                "log against the injected FaultSchedule for recall, "
+                "precision, false-alarm rate and detection latency "
+                "(see docs/alerting.md).",
+    grid={"fault": obs_alerting.FAULT_MODES,
+          "control": ("omniscient", "alerts")},
+    fixed={"fault_rate": 2.0, "nodes": 3, "spares": 1, "epochs": 5,
+           "epoch_us": 600.0, "rate_krps": 300.0,
+           "window_us": obs_alerting.ALERT_WINDOW_US,
+           "node_executor": "serial", "seed": obs_alerting.DEFAULT_SEED},
+    summarize=obs_alerting.alerting_summary,
+    tags=("obs", "alerts", "chaos", "fleet", "sweep"),
+))

@@ -180,6 +180,34 @@ class FaultSchedule:
         drawn.sort(key=lambda event: (event.time_ns, event.spec_index))
         return tuple(drawn)
 
+    def ground_truth(self, epochs: int, node_ids, fabrics: int,
+                     epoch_ns: float):
+        """The fault oracle: every draw over a whole run, as plain dicts
+        on the global fleet timeline (integer-ps ``t_ps``).
+
+        This is what makes detection *scorable*: the alerting layer sees
+        only telemetry, while the experiment holds this list and can
+        measure recall, false alarms and detection latency exactly
+        (:func:`repro.obs.alerts.score_alerts`).  Resolution re-runs the
+        same seeded draws as :meth:`events`, so the oracle is the
+        injected schedule, not a parallel approximation.
+        """
+        truth = []
+        for epoch in range(epochs):
+            for node_id in sorted(node_ids):
+                for event in self.events(epoch, node_id, fabrics, epoch_ns):
+                    truth.append({
+                        "kind": event.kind,
+                        "scope": event.scope,
+                        "node_id": node_id,
+                        "epoch": epoch,
+                        "fabric": event.fabric,
+                        "t_ps": int(round(
+                            (epoch * epoch_ns + event.time_ns) * 1000.0)),
+                    })
+        truth.sort(key=lambda t: (t["t_ps"], t["node_id"], t["kind"]))
+        return truth
+
 
 def _poisson(rng: random.Random, mean: float) -> int:
     """Knuth's inverse-transform Poisson draw (exact, deterministic).

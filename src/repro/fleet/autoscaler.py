@@ -18,6 +18,16 @@ template spec; removal picks the least-busy node and the router migrates
 its tenants away), ``fabrics`` grows/shrinks the per-node fabric count
 instead (the most-queued node gains a fabric; the least-busy node with
 more than one loses one) — elastic capacity without new machines.
+
+Two *signal sources* (``AutoscalerConfig.signal``): ``raw`` (the
+historical default) reads the omniscient end-of-epoch node signals
+directly; ``alerts`` consumes the fired-alert state of a
+:class:`repro.obs.alerts.AlertEngine` instead (:meth:`Autoscaler.\
+decide_from_alerts`) — grow when any warning-or-worse alert is firing,
+shrink when the ``fleet_idle`` detector fires on every node and nothing
+else is wrong.  Same cooldown, same ``apply`` mechanics; only the
+decision input changes, which is exactly what makes the omniscient-vs-
+telemetry comparison in the ``alerting`` experiment a controlled one.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.fleet.node import NodeSpec
 
 SCALING_MODES: Tuple[str, ...] = ("nodes", "fabrics")
+SIGNAL_SOURCES: Tuple[str, ...] = ("raw", "alerts")
 
 
 @dataclass(frozen=True)
@@ -36,6 +47,10 @@ class AutoscalerConfig:
 
     enabled: bool = False
     mode: str = "nodes"
+    #: ``raw`` reads omniscient epoch signals; ``alerts`` reads fired
+    #: alerts from the telemetry stream (requires the fleet to run with
+    #: ``telemetry_window_us`` set).
+    signal: str = "raw"
     min_nodes: int = 1
     max_nodes: int = 16
     #: Per-node fabric bound in ``fabrics`` mode.
@@ -52,6 +67,10 @@ class AutoscalerConfig:
         if self.mode not in SCALING_MODES:
             known = ", ".join(SCALING_MODES)
             raise ValueError(f"unknown scaling mode {self.mode!r}; known: {known}")
+        if self.signal not in SIGNAL_SOURCES:
+            known = ", ".join(SIGNAL_SOURCES)
+            raise ValueError(
+                f"unknown signal source {self.signal!r}; known: {known}")
         if not (1 <= self.min_nodes <= self.max_nodes):
             raise ValueError(
                 f"need 1 <= min_nodes <= max_nodes, got "
@@ -93,6 +112,29 @@ class Autoscaler:
         if (shed == 0
                 and all(sig["busy_fraction"] < self.config.down_busy_fraction
                         for sig in signals.values())):
+            return -1
+        return 0
+
+    def decide_from_alerts(self, engine, node_ids: List[int]) -> int:
+        """+1 grow, -1 shrink, 0 hold — from fired alerts alone.
+
+        ``engine`` is a :class:`repro.obs.alerts.AlertEngine` that has
+        consumed the epoch's telemetry.  Pressure = any warning-or-worse
+        alert firing on an active node; idleness = the ``fleet_idle``
+        rule firing on *every* active node with nothing else wrong.  The
+        same cooldown guard as :meth:`decide` applies.
+        """
+        if not self.config.enabled or not node_ids:
+            return 0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return 0
+        active = set(node_ids)
+        hot = [(rule, node) for rule, node in engine.firing("warning")
+               if node in active]
+        if hot:
+            return 1
+        if all(engine.is_firing("fleet_idle", node) for node in node_ids):
             return -1
         return 0
 

@@ -43,6 +43,13 @@ from repro.sim.stats import Histogram
 
 NODE_EXECUTORS: Tuple[str, ...] = ("serial", "process")
 
+#: How the epoch-boundary failover step learns about dead nodes:
+#: ``omniscient`` reads the simulator's ground-truth damage reports (the
+#: historical behaviour); ``alerts`` trusts only alerts fired from the
+#: telemetry stream — the operations-realistic mode the ``alerting``
+#: experiment scores against the omniscient baseline.
+CHAOS_CONTROL_MODES: Tuple[str, ...] = ("omniscient", "alerts")
+
 #: Hot spares get node ids in this range so they never collide with the
 #: autoscaler's fresh ids (template id + 1, +2, ...).
 SPARE_ID_BASE = 1000
@@ -77,6 +84,15 @@ class FleetConfig:
     #: ``power=True``, idle energy every epoch) that chaos recovery promotes
     #: when a node loses all of its fabrics.
     spares: int = 0
+    #: Streaming telemetry window (µs); ``None`` (the default) attaches no
+    #: monitor and keeps node reports bit-identical to a pre-telemetry build.
+    telemetry_window_us: Optional[float] = None
+    #: ``omniscient`` or ``alerts`` (see :data:`CHAOS_CONTROL_MODES`).
+    chaos_control: str = "omniscient"
+    #: Alert rule set for the ``alerts`` paths; ``None`` picks
+    #: :data:`repro.obs.alerts.AUTOSCALER_RULES` when the autoscaler reads
+    #: alerts, else :data:`repro.obs.alerts.DEFAULT_RULES`.
+    alert_rules: Optional[Tuple[Any, ...]] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -93,6 +109,22 @@ class FleetConfig:
                 f"got {self.node_executor!r}")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.chaos_control not in CHAOS_CONTROL_MODES:
+            raise ValueError(
+                f"chaos_control must be one of {CHAOS_CONTROL_MODES}, "
+                f"got {self.chaos_control!r}")
+        if self.telemetry_window_us is not None and self.telemetry_window_us <= 0:
+            raise ValueError(
+                f"telemetry_window_us must be positive, "
+                f"got {self.telemetry_window_us}")
+        if self.telemetry_window_us is None:
+            if self.chaos_control == "alerts":
+                raise ValueError(
+                    "chaos_control='alerts' needs telemetry_window_us set — "
+                    "alert-driven control is blind without a telemetry stream")
+            if self.autoscaler.signal == "alerts":
+                raise ValueError(
+                    "autoscaler signal='alerts' needs telemetry_window_us set")
         make_placement(self.placement)  # fail fast on typos
 
     def initial_nodes(self) -> List[NodeSpec]:
@@ -131,6 +163,12 @@ class FleetOutcome:
     #: Per-node :class:`~repro.obs.metrics.MetricsSnapshot`\\ s folded in
     #: sorted ``(epoch, node_id)`` order — bit-identical serial vs process.
     metrics: Optional[MetricsSnapshot] = None
+    #: Merged :class:`~repro.obs.monitor.TelemetryStream` (``None`` unless
+    #: the fleet ran with ``telemetry_window_us`` set).
+    telemetry: Optional[Any] = None
+    #: The typed alert log (:class:`repro.obs.alerts.AlertEvent` list) the
+    #: engine produced over the merged stream; ``None`` when telemetry off.
+    alerts: Optional[List[Any]] = None
 
 
 def run_fleet(
@@ -168,6 +206,16 @@ def run_fleet(
                         system_mhz=config.system_mhz, fpga_mhz=config.fpga_mhz)
     router = Router(config.placement, migrate_watermark=config.migrate_watermark)
     autoscaler = Autoscaler(config.autoscaler, template)
+    engine = None
+    if config.telemetry_window_us is not None:
+        from repro.obs.alerts import (AUTOSCALER_RULES, DEFAULT_RULES,
+                                      AlertEngine)
+
+        rules = config.alert_rules
+        if rules is None:
+            rules = (AUTOSCALER_RULES if config.autoscaler.signal == "alerts"
+                     else DEFAULT_RULES)
+        engine = AlertEngine(rules)
     epoch_ns = config.epoch_us * 1000.0
     #: Epoch length on the trace timeline (integer ps), so parent-side
     #: events line up with node-internal sim-ps timestamps.
@@ -237,6 +285,8 @@ def run_fleet(
                     state_transfer_ns=config.state_transfer_ns,
                     power=config.power,
                 )
+                if config.telemetry_window_us is not None:
+                    call.update(telemetry_window_us=config.telemetry_window_us)
                 if config.chaos is not None and not node.spare:
                     # Fault draws resolve HERE, in the parent, to plain
                     # data — the events a node sees never depend on which
@@ -266,6 +316,16 @@ def run_fleet(
                         cat="fleet", pid=f"node{report['node_id']}",
                         args={"epoch": epoch,
                               "spare": bool(report.get("spare"))})
+            if engine is not None:
+                # Stream this epoch's windows through the alert engine in
+                # the canonical merged order — the same samples whatever
+                # executor produced them, so the alert log (and any control
+                # decision read off it) is serial ≡ process bit-identical.
+                from repro.obs.monitor import TelemetryStream
+
+                engine.consume(TelemetryStream.merged(
+                    TelemetryStream.from_dict(report["telemetry"])
+                    for report in epoch_reports if report.get("telemetry")))
 
             if epoch == config.epochs - 1:
                 break
@@ -273,9 +333,15 @@ def run_fleet(
                        if not report.get("spare")}
             migrated = set()
             if config.chaos is not None:
-                (nodes, spare_pool, persistent_dead, replay_map, migrated,
-                 epoch_promotions, epoch_dead, handled) = _chaos_control(
-                    config, epoch_reports, shares, nodes, spare_pool, router)
+                if config.chaos_control == "alerts":
+                    (nodes, spare_pool, persistent_dead, replay_map, migrated,
+                     epoch_promotions, epoch_dead, handled) = _alert_chaos_control(
+                        config, epoch_reports, shares, nodes, spare_pool,
+                        router, engine)
+                else:
+                    (nodes, spare_pool, persistent_dead, replay_map, migrated,
+                     epoch_promotions, epoch_dead, handled) = _chaos_control(
+                        config, epoch_reports, shares, nodes, spare_pool, router)
                 promotions += epoch_promotions
                 dead_nodes.extend(epoch_dead)
                 if tracer is not None:
@@ -292,7 +358,11 @@ def run_fleet(
                     # A failover re-placed the survivors this boundary;
                     # don't let the autoscaler fight it in the same breath.
                     continue
-            decision = autoscaler.decide(signals)
+            if config.autoscaler.signal == "alerts":
+                decision = autoscaler.decide_from_alerts(
+                    engine, [n.node_id for n in nodes])
+            else:
+                decision = autoscaler.decide(signals)
             resized = autoscaler.apply(decision, nodes, signals, epoch)
             if resized is not None:
                 node_set_changed = ({n.node_id for n in resized}
@@ -327,9 +397,21 @@ def run_fleet(
                                       key=lambda r: (r["epoch"], r["node_id"]))
                  if report.get("metrics") is not None]
     metrics = MetricsSnapshot.merged(snapshots) if snapshots else None
+    telemetry = None
+    alerts = None
+    if engine is not None:
+        from repro.obs.monitor import TelemetryStream
+
+        telemetry = TelemetryStream.merged(
+            TelemetryStream.from_dict(report["telemetry"])
+            for report in reports if report.get("telemetry"))
+        alerts = engine.events
+        if tracer is not None:
+            engine.export(tracer)
     return FleetOutcome(rows=rows, reports=reports, router=router,
                         autoscaler=autoscaler, elapsed_ns=elapsed_ns,
-                        chaos=chaos_summary, metrics=metrics)
+                        chaos=chaos_summary, metrics=metrics,
+                        telemetry=telemetry, alerts=alerts)
 
 
 def epoch_goodput(reports: List[Dict[str, Any]]) -> List[int]:
@@ -403,6 +485,76 @@ def _chaos_control(
     replay_lists: Dict[int, List[Tuple[str, int]]] = {}
     for report in fully_dead:
         if report["node_id"] not in epoch_dead:
+            continue
+        for name, account in report["tenants"].items():
+            lost = int(account.get("fault_shed", 0))
+            target = router.placement.get(name)
+            if lost > 0 and target is not None:
+                replay_lists.setdefault(target, []).append((name, lost))
+    replay_map = {node_id: tuple(sorted(pairs))
+                  for node_id, pairs in replay_lists.items()}
+    return (survivors, spare_pool, persistent_dead, replay_map, migrated,
+            promotions, epoch_dead, True)
+
+
+def _alert_chaos_control(
+    config: FleetConfig,
+    epoch_reports: List[Dict[str, Any]],
+    shares: Tuple[TenantShare, ...],
+    nodes: List[NodeSpec],
+    spare_pool: List[NodeSpec],
+    router: Router,
+    engine,
+):
+    """The epoch-boundary failover step, driven by fired alerts only.
+
+    The omniscient :func:`_chaos_control` reads the simulator's damage
+    reports; here the control plane is allowed exactly what a real one
+    has — the alert engine's firing state over the telemetry stream.
+    Physics still propagates regardless (a broken fabric stays broken
+    next epoch whether or not anyone noticed), but the *decisions* —
+    which node to fail over, when to promote a spare, what to replay —
+    key off critical alerts.  Replay counts come from the failed node's
+    per-tenant ``fault_shed`` telemetry totals, which are observable (a
+    router retains what it forwarded and saw shed back).
+    """
+    recovery = config.chaos.recovery if config.chaos is not None else True
+    # Plant state: dead fabrics carry forward unconditionally — damage
+    # does not wait for detection.
+    persistent_dead: Dict[int, Tuple[int, ...]] = {}
+    for report in epoch_reports:
+        if report.get("spare") or not report.get("chaos"):
+            continue
+        dead = tuple(report["chaos"]["dead_fabrics"])
+        if dead:
+            persistent_dead[report["node_id"]] = dead
+    active_ids = {node.node_id for node in nodes}
+    suspects = sorted({node_id for _, node_id in engine.firing("critical")
+                       if node_id in active_ids}) if recovery else []
+    if not suspects:
+        return (nodes, spare_pool, persistent_dead, {}, set(), 0, [], False)
+
+    by_node = {report["node_id"]: report for report in epoch_reports}
+    promotions = 0
+    epoch_dead: List[int] = []
+    survivors = list(nodes)
+    for node_id in suspects:
+        if len(survivors) <= 1 and not spare_pool:
+            continue
+        epoch_dead.append(node_id)
+        survivors = [n for n in survivors if n.node_id != node_id]
+        if spare_pool:
+            survivors.append(replace(spare_pool.pop(0), spare=False))
+            promotions += 1
+    if not epoch_dead:
+        return (nodes, spare_pool, persistent_dead, {}, set(), 0, [], False)
+    survivors.sort(key=lambda n: n.node_id)
+    migrated = router.place(shares, survivors)
+    replay_lists: Dict[int, List[Tuple[str, int]]] = {}
+    for node_id in epoch_dead:
+        persistent_dead.pop(node_id, None)  # the node left the cluster
+        report = by_node.get(node_id)
+        if report is None:
             continue
         for name, account in report["tenants"].items():
             lost = int(account.get("fault_shed", 0))

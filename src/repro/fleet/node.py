@@ -187,6 +187,7 @@ def simulate_node(
     chaos_recovery: bool = True,
     failed_fabrics: Tuple[int, ...] = (),
     replays: Tuple[Tuple[str, int], ...] = (),
+    telemetry_window_us: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Simulate one node for one epoch; returns a picklable report dict.
 
@@ -204,6 +205,12 @@ def simulate_node(
     re-offers requests a dead node lost, as an epoch-start burst per tenant.
     The faults a node sees therefore never depend on which process simulates
     it — the serial ≡ process identity holds under injection.
+
+    ``telemetry_window_us`` attaches a tumbling-window
+    :class:`~repro.obs.monitor.TelemetryMonitor`; the report gains a
+    ``"telemetry"`` key (stream in dict form, timestamps already on the
+    global fleet timeline) only when enabled, so monitor-off reports keep
+    their exact shape.
     """
     sim = Simulator()
     config = ServeConfig(
@@ -218,6 +225,14 @@ def simulate_node(
     )
     monitor = SloMonitor(sim, name=node.name)
     scheduler = FabricScheduler(sim, config, monitor=monitor)
+    telemetry = None
+    if telemetry_window_us is not None:
+        from repro.obs.monitor import TelemetryMonitor
+
+        telemetry = TelemetryMonitor(
+            monitor, telemetry_window_us * 1000.0, node_id=node.node_id,
+            epoch=epoch, t0_ps=epoch * int(round(epoch_ns * 1000.0)))
+        scheduler.attach_telemetry(telemetry)
     energy_models = _attach_node_energy(sim, scheduler) if power else []
 
     chaos_engaged = bool(chaos_events) or bool(failed_fabrics) or bool(replays)
@@ -319,6 +334,13 @@ def simulate_node(
         monitor.queue_depth.time_weighted_mean())
     scheduler.metrics.gauge("busy_fraction").set(
         busy_ns / (node.fabrics * elapsed_ns) if elapsed_ns else 0.0)
+    if queue_capacity is not None:
+        # Admission-queue free-slot low-water mark.  A *min*-merge gauge:
+        # the fleet-wide value is the worst node's headroom, which a
+        # max merge would silently report as the best node's.
+        peak_depth = max(monitor.queue_depth.values, default=0.0)
+        scheduler.metrics.gauge("free_capacity", mode="min").set(
+            queue_capacity - peak_depth)
     metrics = MetricsSnapshot.merged(
         (scheduler.metrics.snapshot(), monitor.metrics.snapshot())).as_dict()
     energy_pj = sum(model.last_window_pj or 0.0 for model in energy_models)
@@ -326,7 +348,12 @@ def simulate_node(
     for model in energy_models:
         for domain, pj in model.last_window_breakdown.items():
             breakdown[domain] = breakdown.get(domain, 0.0) + pj
+    if telemetry is not None:
+        telemetry.finalize(elapsed_ns)
+    report_extra: Dict[str, Any] = (
+        {"telemetry": telemetry.stream.as_dict()} if telemetry is not None else {})
     return {
+        **report_extra,
         "node_id": node.node_id,
         "epoch": epoch,
         "fabrics": node.fabrics,

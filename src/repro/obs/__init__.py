@@ -12,31 +12,55 @@ The cross-cutting layer the serving stack reports through:
 * :mod:`repro.obs.decompose` — per-request stage attribution
   (queue/program/retune/service/blackout) and the empirical-CDF helper
   behind ``ResultSet.cdf``;
+* :mod:`repro.obs.monitor` — streaming telemetry: tumbling/sliding
+  window reads (goodput, shed rate, p99-over-window, queue slope)
+  emitted as a picklable :class:`TelemetryStream` that merges across the
+  fleet pool like :class:`MetricsSnapshot`;
+* :mod:`repro.obs.alerts` — declarative :class:`AlertRule`\\ s
+  (threshold / multi-window SLO burn-rate / EWMA z-score) evaluated
+  on-stream by an :class:`AlertEngine` with a typed alert log, trace
+  export and ground-truth scoring (:func:`score_alerts`);
 * :mod:`repro.obs.experiments` — the ``latency_decomposition`` cell and
-  the ``python -m repro trace`` drivers.
+  the ``python -m repro trace`` drivers;
+* :mod:`repro.obs.alerting` — the ``alerting`` detection-quality
+  experiment and the ``python -m repro alerts`` driver.
 
-Every hook in the stack is behind ``if tracer is not None`` — with no
-tracer attached, runs are bit-identical to a build without this package
-(pinned in ``tests/test_obs.py``).  See ``docs/observability.md``.
+Every hook in the stack is behind ``if tracer is not None`` /
+``if telemetry is not None`` — with nothing attached, runs are
+bit-identical to a build without this package (pinned in
+``tests/test_obs.py`` and ``tests/test_alerts.py``).  See
+``docs/observability.md`` and ``docs/alerting.md``.
 """
 
+from repro.obs.alerts import (AUTOSCALER_RULES, DEFAULT_RULES, AlertEngine,
+                              AlertEvent, AlertRule, score_alerts)
 from repro.obs.decompose import (ALL_TENANTS, STAGES, cdf_points,
                                  decompose_rows, request_stages)
-from repro.obs.metrics import (CounterGroup, Gauge, MetricsRegistry,
-                               MetricsSnapshot)
+from repro.obs.metrics import (GAUGE_MERGE_MODES, CounterGroup, Gauge,
+                               MetricsRegistry, MetricsSnapshot)
+from repro.obs.monitor import TelemetryMonitor, TelemetryStream
 from repro.obs.trace import Instant, Span, Tracer
 
 __all__ = [
     "ALL_TENANTS",
+    "AUTOSCALER_RULES",
+    "DEFAULT_RULES",
+    "GAUGE_MERGE_MODES",
     "STAGES",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "CounterGroup",
     "Gauge",
     "Instant",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Span",
+    "TelemetryMonitor",
+    "TelemetryStream",
     "Tracer",
     "cdf_points",
     "decompose_rows",
     "request_stages",
+    "score_alerts",
 ]

@@ -11,10 +11,12 @@ and adds the two things the fleet layer needs:
   dicts and lists, picklable across the fleet process pool exactly like
   node report dicts;
 * :meth:`MetricsSnapshot.merged` — a deterministic fold: counters add,
-  histogram samples and series points concatenate in merge order,
-  gauges keep the maximum.  Folding snapshots in the fleet's sorted
-  ``(epoch, node_id)`` report order therefore gives the same bytes
-  serial or process-pooled.
+  histogram samples and series points concatenate in merge order, and
+  gauges fold by their declared merge mode (``max`` by default; ``min``
+  for low-water marks like ``free_capacity``, ``sum`` for additive
+  capacities, ``last`` for merge-order-final values).  Folding snapshots
+  in the fleet's sorted ``(epoch, node_id)`` report order therefore
+  gives the same bytes serial or process-pooled.
 
 :class:`CounterGroup` is a dict-shaped view over a fixed set of registry
 counters — it keeps call sites like ``fault_stats["replayed"] += 1`` and
@@ -29,15 +31,28 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.sim.stats import StatSet
 
+#: Legal per-gauge merge modes (see :meth:`MetricsSnapshot.merge`).
+GAUGE_MERGE_MODES = ("max", "min", "sum", "last")
+
 
 class Gauge:
-    """A last-written scalar (queue depth, busy fraction, ...)."""
+    """A last-written scalar (queue depth, busy fraction, ...).
 
-    __slots__ = ("name", "value")
+    ``mode`` declares how the value folds when snapshots merge across the
+    fleet pool: ``max`` (the historical default — correct for high-water
+    marks), ``min`` (low-water marks such as free capacity), ``sum``
+    (additive quantities) or ``last`` (merge-order-final wins).
+    """
 
-    def __init__(self, name: str, value: float = 0.0) -> None:
+    __slots__ = ("name", "value", "mode")
+
+    def __init__(self, name: str, value: float = 0.0, mode: str = "max") -> None:
+        if mode not in GAUGE_MERGE_MODES:
+            raise ValueError(
+                f"gauge merge mode must be one of {GAUGE_MERGE_MODES}, got {mode!r}")
         self.name = name
         self.value = value
+        self.mode = mode
 
     def set(self, value: float) -> None:
         self.value = value
@@ -55,6 +70,10 @@ class MetricsSnapshot:
     gauges: Dict[str, float] = field(default_factory=dict)
     histograms: Dict[str, List[float]] = field(default_factory=dict)
     series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    #: Per-gauge merge mode overrides.  Only non-default (non-``max``)
+    #: modes are recorded, so snapshots from before this field existed
+    #: round-trip unchanged and merge exactly as they always did.
+    gauge_modes: Dict[str, str] = field(default_factory=dict)
 
     def merge(self, other: "MetricsSnapshot") -> None:
         """Fold ``other`` into this snapshot (see module docstring for the
@@ -62,9 +81,27 @@ class MetricsSnapshot:
         sorted ``(epoch, node_id)`` order for serial ≡ process identity."""
         for name, value in other.counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
+        for name, mode in other.gauge_modes.items():
+            mine = self.gauge_modes.get(name)
+            if mine is not None and mine != mode:
+                raise ValueError(
+                    f"gauge {name!r} declares merge mode {mode!r} but was "
+                    f"previously merged as {mine!r}")
+            self.gauge_modes[name] = mode
         for name, value in other.gauges.items():
             current = self.gauges.get(name)
-            self.gauges[name] = value if current is None else max(current, value)
+            if current is None:
+                self.gauges[name] = value
+                continue
+            mode = self.gauge_modes.get(name, "max")
+            if mode == "max":
+                self.gauges[name] = max(current, value)
+            elif mode == "min":
+                self.gauges[name] = min(current, value)
+            elif mode == "sum":
+                self.gauges[name] = current + value
+            else:  # "last": merge-order-final value wins
+                self.gauges[name] = value
         for name, samples in other.histograms.items():
             self.histograms.setdefault(name, []).extend(samples)
         for name, points in other.series.items():
@@ -79,7 +116,7 @@ class MetricsSnapshot:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-shaped plain dict (sorted keys for stable serialization)."""
-        return {
+        data = {
             "counters": dict(sorted(self.counters.items())),
             "gauges": dict(sorted(self.gauges.items())),
             "histograms": {name: list(samples) for name, samples
@@ -87,6 +124,11 @@ class MetricsSnapshot:
             "series": {name: [list(point) for point in points]
                        for name, points in sorted(self.series.items())},
         }
+        if self.gauge_modes:
+            # Key omitted when empty so pre-mode snapshot dicts (and the
+            # node reports built from them) keep their exact shape.
+            data["gauge_modes"] = dict(sorted(self.gauge_modes.items()))
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "MetricsSnapshot":
@@ -100,6 +142,7 @@ class MetricsSnapshot:
                         in data.get("histograms", {}).items()},
             series={name: [tuple(point) for point in points]
                     for name, points in data.get("series", {}).items()},
+            gauge_modes=dict(data.get("gauge_modes", {})),
         )
 
 
@@ -171,10 +214,15 @@ class MetricsRegistry:
     def series(self, name: str):
         return self.stats.series(name)
 
-    def gauge(self, name: str) -> Gauge:
-        if name not in self._gauges:
-            self._gauges[name] = Gauge(name)
-        return self._gauges[name]
+    def gauge(self, name: str, mode: str = "max") -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, mode=mode)
+        elif gauge.mode != mode:
+            raise ValueError(
+                f"gauge {name!r} already registered with merge mode "
+                f"{gauge.mode!r}, re-requested as {mode!r}")
+        return gauge
 
     def counter_group(self, keys: Iterable[str]) -> CounterGroup:
         return CounterGroup(self, keys)
@@ -187,4 +235,7 @@ class MetricsRegistry:
                         in self.stats.histograms().items()},
             series={name: list(zip(series.times, series.values))
                     for name, series in self.stats.serieses().items()},
+            gauge_modes={name: gauge.mode
+                         for name, gauge in self._gauges.items()
+                         if gauge.mode != "max"},
         )

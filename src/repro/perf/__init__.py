@@ -137,6 +137,21 @@ SUITE = [
         repeats=3,
         quick_repeats=1,
     ),
+    # The gated monitor-on twin of fleet_requests_per_sec: identical
+    # workload with live 100us telemetry windows on every node and the
+    # default alert rules evaluated on the merged stream each epoch —
+    # the observability layer's hot-path cost, gated like the tracing-on
+    # and power hooks-on twins (BENCH_obs.json CI artifact).
+    BenchSpec(
+        name="fleet_requests_per_sec_monitor_on",
+        fn=micro.fleet_request_throughput,
+        unit="requests/s",
+        params={"nodes": 4, "epochs": 3, "epoch_us": 400.0,
+                "rate_krps": 400.0, "placement": "affinity",
+                "monitoring": True},
+        repeats=3,
+        quick_repeats=1,
+    ),
     # The gated chaos number: the fleet path under injected faults with
     # recovery on — spare promotion, failover re-placement, replay bursts
     # and image scrubbing included (BENCH_chaos.json CI artifact).

@@ -58,13 +58,15 @@ DEFAULT_TOLERANCE = 0.2
 #: live repro.obs tracer (the lifecycle hooks' hot-path cost, same idea
 #: as the NoC hooks-on gate), the duo workload on a 4-region grid
 #: (allocator + partial programming on the hot path), the fleet layer's
-#: cluster-wide request rate, and the same fleet path under injected
-#: faults with recovery on (failover, spare promotion and replay
-#: included).
+#: cluster-wide request rate, the same fleet workload with live telemetry
+#: windows and alert evaluation attached (the monitor-on cost — same idea
+#: as the tracing-on gate), and the fleet path under injected faults with
+#: recovery on (failover, spare promotion and replay included).
 DEFAULT_GATES = ("kernel_events_per_sec", "noc_messages_per_sec",
                  "noc_messages_per_sec_hooks_on", "serve_requests_per_sec",
                  "serve_requests_per_sec_tracing_on",
                  "reconfig_requests_per_sec", "fleet_requests_per_sec",
+                 "fleet_requests_per_sec_monitor_on",
                  "chaos_requests_per_sec")
 
 

@@ -262,7 +262,8 @@ def reconfig_request_throughput(duration_us: float = 4_000.0,
 def fleet_request_throughput(nodes: int = 4, epochs: int = 3,
                              epoch_us: float = 400.0,
                              rate_krps: float = 400.0,
-                             placement: str = "affinity") -> float:
+                             placement: str = "affinity",
+                             monitoring: bool = False) -> float:
     """Served requests per wall second through the fleet layer.
 
     Runs a static (no-autoscaler) fleet of ``nodes`` serially — placement,
@@ -271,12 +272,21 @@ def fleet_request_throughput(nodes: int = 4, epochs: int = 3,
     tracks the cluster layer's end-to-end overhead per request.  The
     workload is fully deterministic; only the wall clock varies between
     repeats (``BENCH_fleet.json`` CI artifact, gated).
+
+    ``monitoring=True`` attaches the live telemetry layer: every node runs
+    with a 100us :class:`~repro.obs.TelemetryMonitor` window and the
+    cluster evaluates the default :class:`~repro.obs.AlertEngine` rules on
+    the merged stream each epoch — the
+    ``fleet_requests_per_sec_monitor_on`` twin that gates the monitor-on
+    overhead the same way ``serve_requests_per_sec_tracing_on`` gates the
+    tracer's.
     """
     from repro.fleet.cluster import FleetConfig, run_fleet
     from repro.fleet.experiments import FLEET_TENANTS
 
     config = FleetConfig(nodes=nodes, placement=placement, epochs=epochs,
-                         epoch_us=epoch_us)
+                         epoch_us=epoch_us,
+                         telemetry_window_us=100.0 if monitoring else None)
     start = time.perf_counter()
     outcome = run_fleet(config, FLEET_TENANTS, total_rate_rps=rate_krps * 1000.0,
                         rate_profile=(1.0,) * epochs)

@@ -86,6 +86,7 @@ def run_serve(
     regions: int = 1,
     region_fabric_scale: float = 1.0,
     tracer: Optional[Any] = None,
+    telemetry_window_us: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Run one serving deployment to completion; returns rows + aggregates.
 
@@ -113,6 +114,13 @@ def run_serve(
     Chrome trace and decomposable with :mod:`repro.obs.decompose`.  The
     default ``None`` records nothing and is bit-identical to a build
     without tracing (pinned by ``tests/test_obs.py``).
+
+    ``telemetry_window_us`` attaches a
+    :class:`repro.obs.monitor.TelemetryMonitor` with that tumbling
+    window; the outcome gains a ``"telemetry"``
+    :class:`~repro.obs.monitor.TelemetryStream`.  Windows close lazily
+    inside the SLO hooks (no sim events), so even a monitor-on run is
+    bit-identical to a monitor-off one (pinned by ``tests/test_alerts.py``).
     """
     if regions > 1 and power:
         raise ValueError(
@@ -134,6 +142,12 @@ def run_serve(
     scheduler = FabricScheduler(sim, config, monitor=monitor)
     if tracer is not None:
         scheduler.attach_tracer(tracer)
+    telemetry = None
+    if telemetry_window_us is not None:
+        from repro.obs.monitor import TelemetryMonitor
+
+        telemetry = TelemetryMonitor(monitor, telemetry_window_us * 1000.0)
+        scheduler.attach_telemetry(telemetry)
 
     energy = None
     if power:
@@ -203,10 +217,13 @@ def run_serve(
             row.update(chaos_totals)
     from repro.obs.metrics import MetricsSnapshot
 
+    if telemetry is not None:
+        telemetry.finalize(elapsed_ns)
     return {"rows": rows, "scheduler": scheduler, "monitor": monitor,
             "energy": energy, "elapsed_ns": elapsed_ns, "tracer": tracer,
             "metrics": MetricsSnapshot.merged(
                 (scheduler.metrics.snapshot(), monitor.metrics.snapshot())),
+            "telemetry": telemetry.stream if telemetry is not None else None,
             "chaos": scheduler.chaos_totals() if chaos is not None else None}
 
 

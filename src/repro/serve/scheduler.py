@@ -551,6 +551,15 @@ class FabricScheduler:
             fabric.tracer = tracer
             fabric.control_hub.tracer = tracer
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire a :class:`repro.obs.monitor.TelemetryMonitor` into this
+        deployment's SLO hooks.  Like :meth:`attach_tracer` this is pure
+        observation — the telemetry layer owns no sim events, windows
+        close lazily inside the existing hooks, and unattached (the
+        default) every hook stays a single ``is not None`` check."""
+        telemetry.scheduler = self
+        self.monitor.telemetry = telemetry
+
     # ------------------------------------------------------------------ #
     # Admission (called by traffic sources)
     # ------------------------------------------------------------------ #

@@ -65,6 +65,12 @@ class SloMonitor:
         self.stats = self.metrics.stats
         self.accounts: Dict[str, TenantAccount] = {}
         self.queue_depth: TimeSeries = self.stats.series("queue_depth")
+        #: Streaming telemetry hook (:class:`repro.obs.monitor.TelemetryMonitor`);
+        #: ``None`` (the default) keeps every hook below tick-free.  When
+        #: attached, each recording hook first lets the telemetry layer
+        #: close any window the sim clock has crossed — *before* recording,
+        #: so boundary events land in the window they open.
+        self.telemetry = None
         #: Number of fault instants observed (0 on every fault-free run).
         self.faults = 0
         # Tenants with an open recovery window: name -> fault instant (ns).
@@ -91,19 +97,27 @@ class SloMonitor:
         return account
 
     def on_submit(self, request: Request, queue_depth: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tick(self.sim.now)
         self._account(request).submitted += 1
         self.queue_depth.record(self.sim.now, queue_depth)
 
     def on_shed(self, request: Request) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tick(self.sim.now)
         account = self._account(request)
         account.submitted += 1  # shed requests were still offered
         account.shed += 1
         self.stats.counter("shed_total").increment()
 
     def on_dequeue(self, queue_depth: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tick(self.sim.now)
         self.queue_depth.record(self.sim.now, queue_depth)
 
     def on_complete(self, request: Request) -> None:
+        if self.telemetry is not None:
+            self.telemetry.tick(self.sim.now)
         account = self._account(request)
         account.completed += 1
         account.queue_wait_ns_total += request.queue_wait_ns
@@ -130,6 +144,8 @@ class SloMonitor:
         the elapsed time accumulates into ``recovery_time_ns``.  Windows
         do not stack — a second fault before recovery extends nothing.
         """
+        if self.telemetry is not None:
+            self.telemetry.tick(time_ns)
         self.faults += 1
         self.stats.counter("faults_total").increment()
         for name in self.accounts:
@@ -140,6 +156,8 @@ class SloMonitor:
 
         Unlike :meth:`on_shed` this does *not* count a new submission —
         the request was already admitted once."""
+        if self.telemetry is not None:
+            self.telemetry.tick(self.sim.now)
         account = self._account(request)
         account.shed += 1
         account.fault_shed += 1
@@ -147,6 +165,8 @@ class SloMonitor:
 
     def on_replay(self, request: Request, queue_depth: int) -> None:
         """A fault-lost request re-entered the queue for another attempt."""
+        if self.telemetry is not None:
+            self.telemetry.tick(self.sim.now)
         self._account(request).replayed += 1
         self.stats.counter("replayed_total").increment()
         self.queue_depth.record(self.sim.now, queue_depth)
